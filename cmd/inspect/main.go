@@ -1,0 +1,110 @@
+// Command inspect prints structural statistics of a sparse tensor or
+// one of its time slices: per-mode dimensions, nonzero-row counts,
+// zero-row fractions, index histograms (paper Fig. 1), and the density
+// properties that predict whether spCP-stream will pay off.
+//
+// Examples:
+//
+//	inspect -input data.tns
+//	inspect -preset flickr -slice 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+)
+
+func main() {
+	var (
+		input      = flag.String("input", "", "FROSTT .tns input file")
+		preset     = flag.String("preset", "", "synthetic preset: patents, flickr, uber, nips")
+		scale      = flag.Float64("scale", 0.2, "preset scale")
+		streamMode = flag.Int("streammode", -1, "streaming mode to slice along (-1 = inspect whole tensor)")
+		slice      = flag.Int("slice", -1, "inspect this time slice (requires -streammode for -input; presets stream implicitly)")
+		bins       = flag.Int("bins", 40, "histogram buckets per mode")
+	)
+	flag.Parse()
+
+	t, err := load(*input, *preset, *scale, *streamMode, *slice)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s  density=%.3g\n\n", t, t.Density())
+	for mode := 0; mode < t.NModes(); mode++ {
+		st := sptensor.StatsForMode(t, mode)
+		span := sptensor.OccupiedSpan(t, mode, *bins)
+		fmt.Printf("mode %d: dim=%-10d nzRows=%-10d zeroRowFrac=%.4f maxPerRow=%-8d span=%.2f\n",
+			mode, st.Dim, st.NonzeroRows, st.ZeroRowFrac, st.MaxPerRow, span)
+		hist := sptensor.Histogram(t, mode, *bins)
+		maxC := 0
+		for _, c := range hist {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for b, c := range hist {
+			if c == 0 {
+				continue
+			}
+			n := 1
+			if maxC > 0 {
+				n = 1 + c*39/maxC
+			}
+			fmt.Printf("  [%3d] %8d %s\n", b, c, bars(n))
+		}
+		fmt.Println()
+	}
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+func load(input, preset string, scale float64, streamMode, slice int) (*sptensor.Tensor, error) {
+	var t *sptensor.Tensor
+	switch {
+	case input != "" && preset != "":
+		return nil, fmt.Errorf("choose one of -input and -preset")
+	case input != "":
+		var err error
+		t, err = sptensor.ReadTNSFile(input)
+		if err != nil {
+			return nil, err
+		}
+		if slice < 0 {
+			return t, nil
+		}
+		if streamMode < 0 {
+			return nil, fmt.Errorf("-slice requires -streammode for -input tensors")
+		}
+		s, err := sptensor.Split(t, streamMode)
+		if err != nil {
+			return nil, err
+		}
+		if slice >= s.T() {
+			return nil, fmt.Errorf("slice %d out of range [0,%d)", slice, s.T())
+		}
+		return s.Slices[slice], nil
+	case preset != "":
+		cfg, err := synth.Preset(preset, scale)
+		if err != nil {
+			return nil, err
+		}
+		if slice < 0 {
+			slice = cfg.T / 2
+		}
+		return synth.GenerateSlice(cfg, slice)
+	default:
+		return nil, fmt.Errorf("one of -input or -preset is required")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"spstream/internal/sptensor"
+)
+
+func writeTestTensor(t *testing.T) string {
+	t.Helper()
+	x := sptensor.New(5, 6, 3)
+	x.Append([]int32{0, 1, 0}, 1)
+	x.Append([]int32{4, 5, 2}, 2)
+	path := filepath.Join(t.TempDir(), "x.tns")
+	if err := sptensor.WriteTNSFile(path, x); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadWholeTensor(t *testing.T) {
+	path := writeTestTensor(t)
+	x, err := load(path, "", 0, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NModes() != 3 || x.NNZ() != 2 {
+		t.Fatalf("tensor shape: %v", x)
+	}
+}
+
+func TestLoadSliceFromFile(t *testing.T) {
+	path := writeTestTensor(t)
+	x, err := load(path, "", 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NModes() != 2 || x.NNZ() != 1 {
+		t.Fatalf("slice: %v", x)
+	}
+}
+
+func TestLoadPresetSlice(t *testing.T) {
+	x, err := load("", "uber", 0.05, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NModes() != 3 {
+		t.Fatalf("preset slice modes = %d", x.NModes())
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	path := writeTestTensor(t)
+	if _, err := load("", "", 0, -1, -1); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, err := load(path, "uber", 1, -1, -1); err == nil {
+		t.Fatal("both inputs accepted")
+	}
+	if _, err := load(path, "", 0, -1, 1); err == nil {
+		t.Fatal("slice without streammode accepted")
+	}
+	if _, err := load(path, "", 0, 2, 99); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+	if _, err := load("", "bogus", 1, -1, -1); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+}
+
+func TestBars(t *testing.T) {
+	if bars(3) != "###" {
+		t.Fatalf("bars = %q", bars(3))
+	}
+}

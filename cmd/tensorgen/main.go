@@ -1,0 +1,109 @@
+// Command tensorgen generates synthetic streaming sparse tensors in
+// FROSTT .tns format (the streaming mode is appended as the last mode).
+//
+// Examples:
+//
+//	tensorgen -preset flickr -scale 0.5 -o flickr.tns
+//	tensorgen -dims 1000,2000 -slices 50 -nnz 10000 -zipf 1.0 -o custom.tns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "", "built-in preset: patents, flickr, uber, nips")
+		scale  = flag.Float64("scale", 0.2, "preset scale")
+		dims   = flag.String("dims", "", "custom mode lengths, comma separated (non-streaming modes)")
+		slices = flag.Int("slices", 20, "custom: number of time slices")
+		nnz    = flag.Int("nnz", 10000, "custom: nonzeros per slice")
+		zipf   = flag.Float64("zipf", 0, "custom: Zipf exponent for index skew (0 = uniform)")
+		rank   = flag.Int("rank", 8, "custom: planted low-rank structure rank (0 = count values)")
+		noise  = flag.Float64("noise", 0.05, "custom: noise std dev on planted values")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output .tns file (default stdout)")
+		binary = flag.Bool("binary", false, "write the compact binary format instead of .tns text")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*preset, *scale, *dims, *slices, *nnz, *zipf, *rank, *noise, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	stream, err := synth.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	tensor := sptensor.Merge(stream)
+	fmt.Fprintf(os.Stderr, "tensorgen: dims=%v (streaming mode last) nnz=%d\n", tensor.Dims, tensor.NNZ())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *binary {
+		err = sptensor.WriteBinary(w, tensor)
+	} else {
+		err = sptensor.WriteTNS(w, tensor)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func buildConfig(preset string, scale float64, dims string, slices, nnz int, zipf float64, rank int, noise float64, seed uint64) (synth.Config, error) {
+	if preset != "" {
+		cfg, err := synth.Preset(preset, scale)
+		if err != nil {
+			return synth.Config{}, err
+		}
+		cfg.Seed = seed
+		return cfg, nil
+	}
+	if dims == "" {
+		return synth.Config{}, fmt.Errorf("one of -preset or -dims is required")
+	}
+	var dists []synth.IndexDist
+	for _, part := range strings.Split(dims, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 1 {
+			return synth.Config{}, fmt.Errorf("bad dimension %q", part)
+		}
+		if zipf > 0 {
+			dists = append(dists, synth.NewZipf(d, zipf))
+		} else {
+			dists = append(dists, synth.Uniform{N: d})
+		}
+	}
+	cfg := synth.Config{
+		Name:        "custom",
+		Dists:       dists,
+		T:           slices,
+		NNZPerSlice: nnz,
+		Seed:        seed,
+	}
+	if rank > 0 {
+		cfg.Values = synth.ValuePlanted
+		cfg.PlantedRank = rank
+		cfg.NoiseStd = noise
+	}
+	return cfg, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tensorgen:", err)
+	os.Exit(1)
+}

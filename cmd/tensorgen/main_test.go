@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	"spstream/internal/synth"
+)
+
+func TestBuildConfigPreset(t *testing.T) {
+	cfg, err := buildConfig("uber", 0.05, "", 0, 0, 0, 0, 0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 77 {
+		t.Fatal("seed override lost")
+	}
+	if _, err := synth.Generate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildConfigCustomUniform(t *testing.T) {
+	cfg, err := buildConfig("", 1, "10, 20", 4, 50, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Dists) != 2 || cfg.Dists[0].Dim() != 10 || cfg.Dists[1].Dim() != 20 {
+		t.Fatalf("dists = %v", cfg.Dists)
+	}
+	if cfg.Values != synth.ValueCounts {
+		t.Fatal("rank 0 should disable planted values")
+	}
+	s, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T() != 4 {
+		t.Fatalf("T = %d", s.T())
+	}
+}
+
+func TestBuildConfigCustomZipfPlanted(t *testing.T) {
+	cfg, err := buildConfig("", 1, "30,40", 3, 100, 1.1, 4, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Values != synth.ValuePlanted || cfg.PlantedRank != 4 {
+		t.Fatal("planted config lost")
+	}
+	if cfg.Dists[0].Describe() != "zipf(30, s=1.10)" {
+		t.Fatalf("dist = %s", cfg.Dists[0].Describe())
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	if _, err := buildConfig("", 1, "", 3, 10, 0, 0, 0, 1); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, err := buildConfig("", 1, "10,abc", 3, 10, 0, 0, 0, 1); err == nil {
+		t.Fatal("bad dim accepted")
+	}
+	if _, err := buildConfig("", 1, "10,-3", 3, 10, 0, 0, 0, 1); err == nil {
+		t.Fatal("negative dim accepted")
+	}
+	if _, err := buildConfig("bogus", 1, "", 3, 10, 0, 0, 0, 1); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Command watch runs a live streaming decomposition over an event feed:
+// each input line is one event ("i j k value", 1-based coordinates, the
+// value optional and defaulting to 1), events are windowed into slices,
+// and after every window the tool prints the model's component summary —
+// the end-to-end shape of the monitoring deployments the paper's
+// introduction motivates ("topic monitoring, trend analysis").
+//
+// Examples:
+//
+//	tensorgen -preset uber -scale 0.1 -o - | watch -dims 24,110,170 -rank 8
+//	tail -f events.log | watch -dims 100,100 -window 5000 -top 3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"spstream"
+)
+
+func main() {
+	var (
+		dimsFlag = flag.String("dims", "", "mode lengths of each event's coordinates, comma separated (required)")
+		window   = flag.Int("window", 10000, "events per window/slice")
+		rank     = flag.Int("rank", 8, "decomposition rank")
+		topN     = flag.Int("top", 3, "top rows to print per component")
+		mu       = flag.Float64("mu", 0.95, "forgetting factor")
+		alg      = flag.String("alg", "spcp", "algorithm: baseline, optimized, spcp")
+	)
+	flag.Parse()
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	algorithm, err := parseAlg(*alg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := run(os.Stdin, os.Stdout, dims, *window, *rank, *topN, *mu, algorithm); err != nil {
+		fatal(err)
+	}
+}
+
+// run is the testable core: it consumes the event feed from r and
+// writes per-window summaries to w.
+func run(r io.Reader, w io.Writer, dims []int, window, rank, topN int, mu float64, alg spstream.Algorithm) error {
+	dec, err := spstream.New(dims, spstream.Options{
+		Rank:      rank,
+		Algorithm: alg,
+		Mu:        mu,
+		TrackFit:  true,
+		Normalize: true,
+	})
+	if err != nil {
+		return err
+	}
+	acc := spstream.NewWindowAccumulator(dims, window)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	process := func(slice *spstream.Tensor) error {
+		res, err := dec.ProcessSlice(slice)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "window %d: %d nnz, fit %.4f, %d iterations\n", res.T, res.NNZ, res.Fit, res.Iters)
+		for rankPos, comp := range spstream.RankComponents(dec) {
+			if rankPos >= 2 {
+				break
+			}
+			fmt.Fprintf(w, "  component %d:", comp)
+			for m := range dims {
+				top := spstream.TopRows(dec, m, comp, topN)
+				fmt.Fprintf(w, " mode%d=%s", m, rowList(top))
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseEvent(line, dims)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if slice := acc.Add(ev); slice != nil {
+			if err := process(slice); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if slice := acc.Flush(); slice != nil {
+		if err := process(slice); err != nil {
+			return err
+		}
+	}
+	if dec.T() == 0 {
+		return fmt.Errorf("no complete windows in the input")
+	}
+	return nil
+}
+
+// parseEvent parses "i j k [value]" with 1-based coordinates.
+func parseEvent(line string, dims []int) (spstream.Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) != len(dims) && len(fields) != len(dims)+1 {
+		return spstream.Event{}, fmt.Errorf("want %d coordinates (+ optional value), got %d fields", len(dims), len(fields))
+	}
+	ev := spstream.Event{Coord: make([]int32, len(dims)), Value: 1}
+	for m := range dims {
+		v, err := strconv.ParseInt(fields[m], 10, 32)
+		if err != nil || v < 1 || int(v) > dims[m] {
+			return spstream.Event{}, fmt.Errorf("bad coordinate %q for mode %d (dim %d)", fields[m], m, dims[m])
+		}
+		ev.Coord[m] = int32(v - 1)
+	}
+	if len(fields) == len(dims)+1 {
+		v, err := strconv.ParseFloat(fields[len(dims)], 64)
+		if err != nil {
+			return spstream.Event{}, fmt.Errorf("bad value %q", fields[len(dims)])
+		}
+		ev.Value = v
+	}
+	return ev, nil
+}
+
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-dims is required")
+	}
+	var dims []int
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad dimension %q", part)
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("need at least 2 modes")
+	}
+	return dims, nil
+}
+
+func parseAlg(s string) (spstream.Algorithm, error) {
+	switch s {
+	case "baseline":
+		return spstream.Baseline, nil
+	case "optimized":
+		return spstream.Optimized, nil
+	case "spcp":
+		return spstream.SpCPStream, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func rowList(rows []spstream.RowWeight) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = strconv.Itoa(r.Row + 1) // back to 1-based, matching the input
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "watch:", err)
+	os.Exit(1)
+}

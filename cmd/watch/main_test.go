@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"spstream"
+	"spstream/internal/synth"
+)
+
+func TestParseDims(t *testing.T) {
+	dims, err := parseDims("10, 20,30")
+	if err != nil || len(dims) != 3 || dims[1] != 20 {
+		t.Fatalf("dims=%v err=%v", dims, err)
+	}
+	for _, bad := range []string{"", "10", "10,x", "10,-2"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseEvent(t *testing.T) {
+	dims := []int{5, 6}
+	ev, err := parseEvent("2 3 1.5", dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Coord[0] != 1 || ev.Coord[1] != 2 || ev.Value != 1.5 {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Default value.
+	ev, err = parseEvent("1 1", dims)
+	if err != nil || ev.Value != 1 {
+		t.Fatalf("default value wrong: %+v %v", ev, err)
+	}
+	for _, bad := range []string{"1", "0 1", "6 1", "1 1 x", "1 1 1 1"} {
+		if _, err := parseEvent(bad, dims); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseAlg(t *testing.T) {
+	if a, err := parseAlg("spcp"); err != nil || a != spstream.SpCPStream {
+		t.Fatal("spcp parse wrong")
+	}
+	if _, err := parseAlg("nope"); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Synthesize an event feed with a clear structure.
+	r := synth.NewRNG(4)
+	var in bytes.Buffer
+	for e := 0; e < 2500; e++ {
+		i := r.Intn(10) + 1
+		j := i // diagonal-ish structure
+		if r.Float64() < 0.2 {
+			j = r.Intn(10) + 1
+		}
+		fmt.Fprintf(&in, "%d %d %g\n", i, j, 1+0.1*r.NormFloat64())
+	}
+	in.WriteString("# a comment\n\n")
+	var out bytes.Buffer
+	if err := run(&in, &out, []int{10, 10}, 1000, 4, 2, 0.95, spstream.SpCPStream); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Count(s, "window ") != 3 { // 2500 events → 2 full + 1 flush
+		t.Fatalf("expected 3 windows:\n%s", s)
+	}
+	if !strings.Contains(s, "component") || !strings.Contains(s, "fit") {
+		t.Fatalf("summary missing fields:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(""), &out, []int{5, 5}, 100, 2, 2, 0.9, spstream.SpCPStream); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if err := run(strings.NewReader("99 1\n"), &out, []int{5, 5}, 100, 2, 2, 0.9, spstream.SpCPStream); err == nil {
+		t.Fatal("out-of-range coordinate accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Constrained streaming decomposition: non-negative factors for
+// interpretability (paper §IV). A NIPS-like publication stream
+// (paper × author × word, one slice per year) is decomposed with the
+// non-negativity constraint solved by ADMM; the example compares the
+// paper's two ADMM implementations — the baseline Algorithm 2 and the
+// Blocked & Fused Algorithm 3 — on identical inputs, then prints the
+// non-negative word-mode components.
+//
+// Run with: go run ./examples/constrained
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"spstream"
+)
+
+func main() {
+	stream, err := spstream.GeneratePreset("nips", 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stream: dims=%v T=%d nnz=%d\n\n", stream.Dims, stream.T(), stream.NNZ())
+
+	// Constrained CP-stream with the baseline kernels (Algorithm 2
+	// pass-per-op ADMM + lock-pool MTTKRP) …
+	tBase, base := run(stream, spstream.Baseline)
+	// … and with the paper's optimized kernels (Blocked & Fused ADMM +
+	// Hybrid Lock MTTKRP).
+	tOpt, opt := run(stream, spstream.Optimized)
+
+	fmt.Printf("baseline  constrained CP-stream: %v\n", tBase.Round(time.Millisecond))
+	fmt.Printf("optimized constrained CP-stream: %v  (%.2fx)\n\n",
+		tOpt.Round(time.Millisecond), float64(tBase)/float64(tOpt))
+
+	// Both solvers enforce feasibility: every factor entry must be ≥ 0.
+	for m := range stream.Dims {
+		for _, v := range opt.Factor(m).Data {
+			if v < 0 {
+				log.Fatalf("mode %d: negative entry %g escaped the constraint", m, v)
+			}
+		}
+	}
+	fmt.Println("all factor entries are non-negative (constraint satisfied)")
+
+	// Interpretable components: top words per component, all with
+	// non-negative weights.
+	words := opt.Factor(2)
+	fmt.Println("\ntop words per component (word-mode factor, non-negative):")
+	for k := 0; k < min(4, opt.Rank()); k++ {
+		type ww struct {
+			word   int
+			weight float64
+		}
+		all := make([]ww, words.Rows)
+		for i := 0; i < words.Rows; i++ {
+			all[i] = ww{i, words.At(i, k)}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].weight > all[b].weight })
+		fmt.Printf("  component %d:", k)
+		for _, w := range all[:5] {
+			fmt.Printf(" word-%d(%.3f)", w.word, w.weight)
+		}
+		fmt.Println()
+	}
+
+	// Sanity: the two implementations agree on the factorization. They
+	// follow the same ADMM iterate sequence but the fused variant ends
+	// one half-step ahead, so with a loose ADMM iteration budget the
+	// factors differ by a few percent relative to their scale.
+	worst := 0.0
+	for m := range stream.Dims {
+		f := opt.Factor(m)
+		scale := 0.0
+		for _, v := range f.Data {
+			if v > scale {
+				scale = v
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		if d := base.Factor(m).MaxAbsDiff(f) / scale; d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("\nmax relative |baseline − optimized| factor difference: %.1f%%\n", 100*worst)
+}
+
+func run(stream *spstream.Stream, alg spstream.Algorithm) (time.Duration, *spstream.Decomposer) {
+	dec, err := spstream.New(stream.Dims, spstream.Options{
+		Rank:         8,
+		Algorithm:    alg,
+		Constraint:   spstream.NonNeg(),
+		Seed:         11,
+		MaxIters:     10,
+		ADMMMaxIters: 25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := dec.ProcessStream(stream.Source(), nil); err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start), dec
+}

@@ -1,0 +1,48 @@
+// Quickstart: decompose a synthetic streaming tensor with spCP-stream
+// and print per-slice convergence.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spstream"
+)
+
+func main() {
+	// A scaled-down analogue of the NIPS dataset: slices of a
+	// paper × author × word tensor arriving year by year.
+	stream, err := spstream.GeneratePreset("nips", 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dec, err := spstream.New(stream.Dims, spstream.Options{
+		Rank:      16,
+		Algorithm: spstream.SpCPStream, // the paper's fast non-constrained algorithm
+		TrackFit:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results, err := dec.ProcessStream(stream.Source(), func(r spstream.SliceResult) {
+		fmt.Printf("slice %2d: %6d nnz, %2d iterations, delta %.5f, fit %.4f\n",
+			r.T, r.NNZ, r.Iters, r.Delta, r.Fit)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The model after T slices is {A⁽¹⁾,…,A⁽ᴺ⁾, S}: one factor matrix
+	// per mode plus the temporal factor with one row per slice.
+	fmt.Printf("\nprocessed %d slices\n", len(results))
+	for m := range stream.Dims {
+		f := dec.Factor(m)
+		fmt.Printf("mode %d factor: %d×%d\n", m, f.Rows, f.Cols)
+	}
+	s := dec.Temporal()
+	fmt.Printf("temporal factor: %d×%d\n", s.Rows, s.Cols)
+}

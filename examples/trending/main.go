@@ -1,0 +1,140 @@
+// Trending-topic monitoring: the motivating application of streaming
+// tensor decomposition (paper §I — "new updates on social media").
+//
+// A (user × term) interaction stream is generated from three hidden
+// topics whose popularity drifts over time; one topic "breaks out"
+// mid-stream. spCP-stream tracks the factorization slice by slice, and
+// the temporal weights sₜ reveal the breakout as it happens, while the
+// term-mode factor names the terms driving each component.
+//
+// Run with: go run ./examples/trending
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"spstream"
+	"spstream/internal/synth"
+)
+
+const (
+	nUsers   = 400
+	nTerms   = 300
+	nTopics  = 3
+	nSlices  = 24
+	breakout = 12 // the slice where topic 2 surges
+	rank     = 6
+)
+
+// topicTerms assigns each hidden topic a disjoint vocabulary block.
+func topicTerm(topic, i int) int { return topic*(nTerms/nTopics) + i }
+
+func main() {
+	stream := generateStream()
+
+	dec, err := spstream.New([]int{nUsers, nTerms}, spstream.Options{
+		Rank:      rank,
+		Algorithm: spstream.SpCPStream,
+		Seed:      7,
+		// A lower forgetting factor adapts faster to the breakout;
+		// normalization makes sₜ directly interpretable as component
+		// strength (factor columns have unit norm).
+		Mu:        0.9,
+		Normalize: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("slice | strongest component | top terms (term-mode factor)")
+	fmt.Println("------+---------------------+-----------------------------")
+	for t, slice := range stream.Slices {
+		if _, err := dec.ProcessSlice(slice); err != nil {
+			log.Fatal(err)
+		}
+		comp, weight := strongestComponent(dec.LastS())
+		terms := topTerms(dec, comp, 4)
+		marker := ""
+		if t == breakout {
+			marker = "   <-- injected breakout"
+		}
+		fmt.Printf("%5d | comp %d (s=%6.2f)    | %v%s\n", t, comp, weight, terms, marker)
+	}
+
+	fmt.Println("\nexpected: after the breakout slice the strongest component's top")
+	fmt.Println("terms shift into the topic-2 vocabulary block (term-200…term-299).")
+}
+
+// strongestComponent returns the index and weight of the largest |sₜ|
+// entry.
+func strongestComponent(s []float64) (int, float64) {
+	best, bestAbs := 0, 0.0
+	for k, v := range s {
+		if a := math.Abs(v); a > bestAbs {
+			best, bestAbs = k, a
+		}
+	}
+	return best, s[best]
+}
+
+// topTerms lists the term-mode rows with the largest weight in one
+// component.
+func topTerms(dec *spstream.Decomposer, comp, n int) []string {
+	f := dec.Factor(1) // term mode
+	type tw struct {
+		term   int
+		weight float64
+	}
+	all := make([]tw, f.Rows)
+	for i := 0; i < f.Rows; i++ {
+		all[i] = tw{i, math.Abs(f.At(i, comp))}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].weight > all[b].weight })
+	out := make([]string, 0, n)
+	for _, t := range all[:n] {
+		out = append(out, fmt.Sprintf("term-%d", t.term))
+	}
+	return out
+}
+
+// generateStream builds the synthetic interaction stream: every slice
+// draws user-term events from the topic mixture of that time step.
+func generateStream() *spstream.Stream {
+	r := synth.NewRNG(42)
+	stream := &spstream.Stream{Dims: []int{nUsers, nTerms}}
+	termsPerTopic := nTerms / nTopics
+	for t := 0; t < nSlices; t++ {
+		// Topic popularity: topics 0/1 slowly fade, topic 2 surges at
+		// the breakout slice.
+		pop := []float64{1.0 - 0.02*float64(t), 0.8, 0.15}
+		if t >= breakout {
+			pop[2] = 3.0
+		}
+		total := pop[0] + pop[1] + pop[2]
+		slice := spstream.NewTensor(nUsers, nTerms)
+		for e := 0; e < 3000; e++ {
+			// Pick a topic by popularity, then a user and an in-topic
+			// term (with a little cross-topic noise).
+			u := r.Float64() * total
+			topic := 0
+			for u > pop[topic] {
+				u -= pop[topic]
+				topic++
+			}
+			user := int32(r.Intn(nUsers))
+			var term int32
+			if r.Float64() < 0.9 {
+				term = int32(topicTerm(topic, r.Intn(termsPerTopic)))
+			} else {
+				term = int32(r.Intn(nTerms))
+			}
+			slice.Append([]int32{user, term}, 1)
+		}
+		slice.Coalesce()
+		stream.Slices = append(stream.Slices, slice)
+	}
+	return stream
+}

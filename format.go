@@ -1,0 +1,8 @@
+package spstream
+
+import "strconv"
+
+// formatFloat renders a float64 compactly for text export.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}

@@ -1,0 +1,3 @@
+module spstream
+
+go 1.22

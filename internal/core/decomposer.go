@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spstream/internal/admm"
+	"spstream/internal/dense"
+	"spstream/internal/mttkrp"
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+	"spstream/internal/trace"
+)
+
+// Decomposer consumes time slices one at a time and maintains the
+// streaming CP factorization. It is not safe for concurrent use.
+type Decomposer struct {
+	opt  Options
+	dims []int
+	n    int // number of non-streaming modes
+	k    int // rank
+
+	// Factor state.
+	a     []*dense.Matrix // current factors A⁽ⁿ⁾ (Iₙ×K)
+	prevA []*dense.Matrix // A⁽ⁿ⁾ₜ₋₁ snapshot during a slice
+	c     []*dense.Matrix // C⁽ⁿ⁾ = A⁽ⁿ⁾ᵀA⁽ⁿ⁾ (K×K)
+	cPrev []*dense.Matrix // C⁽ⁿ⁾ₜ₋₁ (K×K)
+	h     []*dense.Matrix // H⁽ⁿ⁾ = Aₜ₋₁ᵀA (K×K)
+	g     *dense.Matrix   // temporal Gram G (K×K)
+	s     []float64       // current sₜ
+	sHist [][]float64     // all temporal rows (the S factor)
+	t     int             // slices processed
+
+	// spCP-stream state carried across slices.
+	prevNZ [][]int32       // nz sets of the previous slice
+	cz     []*dense.Matrix // Gram of A's z-rows w.r.t. prevNZ
+
+	// Kernels and workspaces.
+	psi    []*dense.Matrix // Ψ workspace for the explicit algorithms
+	nzPsi  *dense.Matrix   // Ψ_nz workspace for spCP-stream
+	mt     *mttkrp.Computer
+	solver *admm.Solver
+	bd     trace.Breakdown
+	rng    *synth.RNG
+
+	// Scratch K×K matrices reused across iterations.
+	muG, phiS, sPhi, scratch1, scratch2 *dense.Matrix
+}
+
+// NewDecomposer creates a decomposer for slices with the given mode
+// lengths. Factors are randomly initialized (non-negative uniform, so
+// constrained runs start feasible).
+func NewDecomposer(dims []int, opt Options) (*Decomposer, error) {
+	opt = opt.withDefaults()
+	if err := opt.Validate(dims); err != nil {
+		return nil, err
+	}
+	d := &Decomposer{
+		opt:  opt,
+		dims: append([]int(nil), dims...),
+		n:    len(dims),
+		k:    opt.Rank,
+		mt:   mttkrp.NewComputer(opt.Workers),
+		rng:  synth.NewRNG(opt.Seed),
+	}
+	d.solver = admm.NewSolver(admm.Options{
+		Workers:  opt.Workers,
+		Tol:      opt.ADMMTol,
+		MaxIters: opt.ADMMMaxIters,
+	})
+	k := d.k
+	for _, dim := range dims {
+		f := dense.NewMatrix(dim, k)
+		for i := range f.Data {
+			f.Data[i] = d.rng.Float64() + 0.1 // positive, well away from 0
+		}
+		d.a = append(d.a, f)
+		d.prevA = append(d.prevA, dense.NewMatrix(dim, k))
+		d.c = append(d.c, dense.NewMatrix(k, k))
+		d.cPrev = append(d.cPrev, dense.NewMatrix(k, k))
+		d.h = append(d.h, dense.NewMatrix(k, k))
+	}
+	d.g = dense.NewMatrix(k, k)
+	d.s = make([]float64, k)
+	d.muG = dense.NewMatrix(k, k)
+	d.phiS = dense.NewMatrix(k, k)
+	d.sPhi = dense.NewMatrix(k, k)
+	d.scratch1 = dense.NewMatrix(k, k)
+	d.scratch2 = dense.NewMatrix(k, k)
+	for range dims {
+		d.cz = append(d.cz, dense.NewMatrix(k, k))
+	}
+	// Invariant: d.c always holds Gram(d.a) at slice boundaries.
+	d.refreshGrams()
+	return d, nil
+}
+
+// Dims returns the slice mode lengths.
+func (d *Decomposer) Dims() []int { return d.dims }
+
+// Rank returns the decomposition rank K.
+func (d *Decomposer) Rank() int { return d.k }
+
+// T returns the number of slices processed so far.
+func (d *Decomposer) T() int { return d.t }
+
+// Factor returns the current factor matrix for mode n (live storage; do
+// not modify).
+func (d *Decomposer) Factor(n int) *dense.Matrix { return d.a[n] }
+
+// TemporalGram returns the temporal Gram matrix G (live storage).
+func (d *Decomposer) TemporalGram() *dense.Matrix { return d.g }
+
+// Temporal returns the accumulated temporal factor S as a T×K matrix.
+func (d *Decomposer) Temporal() *dense.Matrix { return dense.FromRows(d.sHist) }
+
+// LastS returns the most recent temporal row sₜ (live storage).
+func (d *Decomposer) LastS() []float64 { return d.s }
+
+// Breakdown returns the accumulated per-phase time breakdown.
+func (d *Decomposer) Breakdown() *trace.Breakdown { return &d.bd }
+
+// ResetBreakdown clears accumulated phase timings.
+func (d *Decomposer) ResetBreakdown() { d.bd.Reset() }
+
+// ProcessSlice advances the factorization by one time slice.
+func (d *Decomposer) ProcessSlice(x *sptensor.Tensor) (SliceResult, error) {
+	if x == nil {
+		return SliceResult{}, fmt.Errorf("core: nil slice")
+	}
+	if x.NModes() != d.n {
+		return SliceResult{}, fmt.Errorf("core: slice has %d modes, decomposer expects %d", x.NModes(), d.n)
+	}
+	for m, dim := range x.Dims {
+		if dim != d.dims[m] {
+			return SliceResult{}, fmt.Errorf("core: slice mode %d length %d ≠ %d", m, dim, d.dims[m])
+		}
+	}
+	switch d.opt.Algorithm {
+	case SpCPStream:
+		return d.processSliceSpCP(x)
+	default:
+		return d.processSliceExplicit(x)
+	}
+}
+
+// ProcessStream drains a slice source, invoking cb (if non-nil) after
+// every slice, and returns the per-slice results.
+func (d *Decomposer) ProcessStream(src sptensor.SliceSource, cb func(SliceResult)) ([]SliceResult, error) {
+	var out []SliceResult
+	for {
+		x := src.Next()
+		if x == nil {
+			return out, nil
+		}
+		res, err := d.ProcessSlice(x)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+		if cb != nil {
+			cb(res)
+		}
+	}
+}
+
+// --- shared helpers ---------------------------------------------------
+
+// refreshGrams recomputes C⁽ⁿ⁾ for all modes from the current factors.
+func (d *Decomposer) refreshGrams() {
+	for m := range d.a {
+		dense.GramParallel(d.c[m], d.a[m], d.opt.Workers)
+	}
+}
+
+// solveS computes the closed-form sₜ update
+// (⊛_v C⁽ᵛ⁾ + λI)s = ψ with ψ from the streaming-mode MTTKRP over the
+// given factors. It runs once before the inner loop (warm start from
+// the previous slice's factors) and once per inner iteration (the time
+// mode is the (N+1)-th ALS block). The locked flag selects the
+// pathological single-lock kernel (Baseline) vs the thread-local
+// reduction — the paper's prime example of lock contention (§IV-B).
+func (d *Decomposer) solveS(x *sptensor.Tensor, factors []*dense.Matrix, locked bool) error {
+	phi := d.sPhi
+	phi.Fill(1)
+	for m := range factors {
+		dense.Hadamard(phi, phi, d.c[m])
+	}
+	dense.AddScaledIdentity(phi, phi, d.opt.StreamRidge)
+	if locked {
+		d.mt.TimeModeLocked(d.s, x, factors)
+	} else {
+		d.mt.TimeMode(d.s, x, factors)
+	}
+	chol, err := dense.Factor(phi)
+	if err != nil {
+		return fmt.Errorf("core: sₜ solve: %w", err)
+	}
+	chol.SolveVec(d.s)
+	return nil
+}
+
+// buildMuG caches µG + ssᵀ (into phiS scratch) and µG (into muG) for the
+// current slice; both are fixed across inner iterations.
+func (d *Decomposer) buildMuG() {
+	dense.Scale(d.muG, d.opt.Mu, d.g)
+	dense.OuterProduct(d.phiS, d.s, d.s)
+	dense.Add(d.phiS, d.phiS, d.muG)
+}
+
+// buildPhi computes Φ⁽ⁿ⁾ = (⊛_{v≠n} C⁽ᵛ⁾) ⊛ (µG + ssᵀ) + ridge·I into
+// dst, returning the ridge actually applied.
+func (d *Decomposer) buildPhi(dst *dense.Matrix, mode int) float64 {
+	dst.Fill(1)
+	for v := range d.c {
+		if v == mode {
+			continue
+		}
+		dense.Hadamard(dst, dst, d.c[v])
+	}
+	dense.Hadamard(dst, dst, d.phiS)
+	ridge := d.opt.FactorRidgeRel * dense.Trace(dst) / float64(d.k)
+	if ridge <= 0 || math.IsNaN(ridge) {
+		ridge = 1e-12
+	}
+	dense.AddScaledIdentity(dst, dst, ridge)
+	return ridge
+}
+
+// buildQ computes Q⁽ⁿ⁾ = (⊛_{v≠n} H⁽ᵛ⁾) ⊛ µG into dst.
+func (d *Decomposer) buildQ(dst *dense.Matrix, mode int) {
+	dst.Fill(1)
+	for v := range d.h {
+		if v == mode {
+			continue
+		}
+		dense.Hadamard(dst, dst, d.h[v])
+	}
+	dense.Hadamard(dst, dst, d.muG)
+}
+
+// finishSlice performs the bookkeeping common to all algorithms after
+// the inner loop converges: the G/S temporal updates and the slice
+// counter. (Normalization, when enabled, already ran per iteration —
+// Algorithm 4 line 30.)
+func (d *Decomposer) finishSlice() {
+	// Gₜ = µGₜ₋₁ + sₜsₜᵀ.
+	dense.Scale(d.g, d.opt.Mu, d.g)
+	for i := 0; i < d.k; i++ {
+		gi := d.g.Row(i)
+		si := d.s[i]
+		for j := 0; j < d.k; j++ {
+			gi[j] += si * d.s[j]
+		}
+	}
+	d.sHist = append(d.sHist, append([]float64(nil), d.s...))
+	d.t++
+}
+
+// columnScales extracts the per-column 2-norms λ of mode m's factor
+// from diag(C⁽ᵐ⁾) (so it works identically for the Gram-form algorithm)
+// and their inverses, guarding dead columns, and absorbs λ into sₜ so
+// the model [[A…; s]] is unchanged by the rescaling.
+func (d *Decomposer) columnScales(m int) (inv []float64) {
+	inv = make([]float64, d.k)
+	for j := 0; j < d.k; j++ {
+		v := d.c[m].At(j, j)
+		lambda := 1.0
+		if v > 0 {
+			lambda = math.Sqrt(v)
+		}
+		inv[j] = 1 / lambda
+		d.s[j] *= lambda
+	}
+	return inv
+}
+
+// scaleGrams applies the column rescaling to mode m's cached Gram
+// state: C ← D⁻¹CD⁻¹ and H ← H·D⁻¹ (H's left side is the unscaled
+// A⁽ᵐ⁾ₜ₋₁).
+func (d *Decomposer) scaleGrams(m int, inv []float64) {
+	dense.ScaleColumns(d.c[m], d.c[m], inv)
+	dense.ScaleRows(d.c[m], d.c[m], inv)
+	dense.ScaleColumns(d.h[m], d.h[m], inv)
+}
+
+// normalizeModeExplicit implements Algorithm 4's per-iteration
+// normalize(C, H) (line 30) for the explicit algorithms: after mode m's
+// update, its factor columns are rescaled to unit norm, the scale is
+// absorbed into sₜ, and the µG + ssᵀ operand is refreshed so subsequent
+// modes in the same iteration see a consistent model.
+func (d *Decomposer) normalizeModeExplicit(m int) {
+	inv := d.columnScales(m)
+	dense.ScaleColumns(d.a[m], d.a[m], inv)
+	d.scaleGrams(m, inv)
+	d.buildMuG()
+}
+
+// normalizeModeSpCP is the Gram-form counterpart: the explicit nz rows
+// and the z-row transform T⁽ᵐ⁾ are rescaled (A_z = A_z,t₋₁·T, so
+// scaling T's columns scales the implicit z rows), along with the
+// current C_z and the C/H state.
+func (d *Decomposer) normalizeModeSpCP(m int, aNz, tCur, czCur *dense.Matrix) {
+	inv := d.columnScales(m)
+	dense.ScaleColumns(aNz, aNz, inv)
+	dense.ScaleColumns(tCur, tCur, inv)
+	dense.ScaleColumns(czCur, czCur, inv)
+	dense.ScaleRows(czCur, czCur, inv)
+	d.scaleGrams(m, inv)
+	d.buildMuG()
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spstream/internal/csf"
+	"spstream/internal/dense"
+	"spstream/internal/mttkrp"
+	"spstream/internal/parallel"
+	"spstream/internal/sptensor"
+	"spstream/internal/trace"
+)
+
+// processSliceExplicit runs one time slice of Algorithm 1 with explicit
+// factor matrices — the Baseline and Optimized variants. The two differ
+// only in kernel choice: Lock vs Hybrid MTTKRP, single-lock vs
+// thread-local streaming-mode update, and Algorithm 2 vs Algorithm 3
+// ADMM for constrained problems.
+func (d *Decomposer) processSliceExplicit(x *sptensor.Tensor) (SliceResult, error) {
+	res := SliceResult{T: d.t, NNZ: x.NNZ(), Fit: math.NaN()}
+	optimized := d.opt.Algorithm != Baseline
+	var err error
+
+	// Pre: snapshot A_{t-1} and C_{t-1}, seed H = C (A == A_{t-1} at the
+	// start of the inner loop), solve the closed-form sₜ update, and —
+	// with the SortedMTTKRP extension — build the per-mode sorted views
+	// (amortized over the inner iterations).
+	var sorted []*mttkrp.Sorted
+	var forest *csf.Forest
+	d.bd.Time(trace.Pre, func() {
+		for m := range d.a {
+			d.prevA[m].CopyFrom(d.a[m])
+			d.cPrev[m].CopyFrom(d.c[m])
+			d.h[m].CopyFrom(d.c[m])
+		}
+		if d.opt.SortedMTTKRP {
+			sorted = make([]*mttkrp.Sorted, d.n)
+			for m := range sorted {
+				sorted[m] = mttkrp.SortForMode(x, m)
+			}
+		}
+		if d.opt.CSFMTTKRP {
+			forest, err = csf.NewForest(x)
+		}
+		if err == nil {
+			err = d.solveS(x, d.a, !optimized)
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	d.bd.Time(trace.Misc, d.buildMuG)
+
+	d.ensurePsi()
+	phi := d.scratch1
+	q := d.scratch2
+	deltaPrev := math.Inf(1)
+	for iter := 1; iter <= d.opt.MaxIters; iter++ {
+		res.Iters = iter
+		d.bd.Iters++
+		for n := 0; n < d.n; n++ {
+			// Ψ⁽ⁿ⁾ = MTTKRP(Xₜ, {A}, n)·diag(sₜ) — the slice's time mode
+			// contributes the single Khatri-Rao row sₜ, which (all
+			// nonzeros sharing one time index) reduces to a column
+			// scaling of the N-way MTTKRP …
+			d.bd.Time(trace.MTTKRP, func() {
+				switch {
+				case forest != nil:
+					forest.MTTKRP(d.psi[n], d.a, n, d.opt.Workers)
+				case sorted != nil:
+					d.mt.SortedMTTKRP(d.psi[n], sorted[n], d.a)
+				case optimized:
+					d.mt.Hybrid(d.psi[n], x, d.a, n)
+				default:
+					d.mt.Lock(d.psi[n], x, d.a, n)
+				}
+				dense.ScaleColumns(d.psi[n], d.psi[n], d.s)
+			})
+			// … + A⁽ⁿ⁾ₜ₋₁ ((⊛_{v≠n} H⁽ᵛ⁾) ⊛ µG): the "Historical" term,
+			// an Iₙ×K by K×K product against the full previous factor.
+			d.bd.Time(trace.Historical, func() {
+				d.buildQ(q, n)
+				addMulAB(d.psi[n], d.prevA[n], q, d.opt.Workers)
+			})
+			// Φ⁽ⁿ⁾ and its Cholesky factorization.
+			var chol *dense.Cholesky
+			d.bd.Time(trace.Inverse, func() {
+				d.buildPhi(phi, n)
+				chol, err = dense.Factor(phi)
+			})
+			if err != nil {
+				return res, fmt.Errorf("core: mode %d Φ factorization: %w", n, err)
+			}
+			// A⁽ⁿ⁾ update: direct solve (non-constrained) or ADMM.
+			d.bd.Time(trace.Update, func() {
+				if d.opt.Constraint == nil {
+					solveRowsParallel(d.a[n], d.psi[n], chol, d.opt.Workers)
+					return
+				}
+				if optimized {
+					st, e := d.solver.BlockedFused(d.a[n], phi, d.psi[n], d.opt.Constraint)
+					res.ADMMIters += st.Iters
+					err = e
+				} else {
+					st, e := d.solver.Baseline(d.a[n], phi, d.psi[n], d.opt.Constraint)
+					res.ADMMIters += st.Iters
+					err = e
+				}
+			})
+			if err != nil {
+				return res, fmt.Errorf("core: mode %d ADMM: %w", n, err)
+			}
+			// Refresh the Gram matrices used by the other modes. The
+			// C⁽ⁿ⁾ refresh is "Gram" work; the H⁽ⁿ⁾ cross-Gram against
+			// A⁽ⁿ⁾ₜ₋₁ is part of the historical term (Fig. 8 accounting).
+			d.bd.Time(trace.Gram, func() {
+				dense.GramParallel(d.c[n], d.a[n], d.opt.Workers)
+			})
+			d.bd.Time(trace.Historical, func() {
+				dense.MulAtBParallel(d.h[n], d.prevA[n], d.a[n], d.opt.Workers)
+			})
+			if d.opt.Normalize {
+				d.bd.Time(trace.Misc, func() { d.normalizeModeExplicit(n) })
+			}
+		}
+		// Time-mode ALS block: refresh sₜ against the updated factors
+		// (the single-row MTTKRP that motivates the Hybrid Lock kernel)
+		// and with it the µG + ssᵀ Hadamard operand.
+		d.bd.Time(trace.MTTKRP, func() {
+			err = d.solveS(x, d.a, !optimized)
+		})
+		if err != nil {
+			return res, err
+		}
+		d.bd.Time(trace.Misc, d.buildMuG)
+		// δₜ = Σ_n ‖A⁽ⁿ⁾−A⁽ⁿ⁾ₜ₋₁‖_F / ‖A⁽ⁿ⁾‖_F (Eq. 15).
+		var delta float64
+		d.bd.Time(trace.Error, func() {
+			for n := 0; n < d.n; n++ {
+				num := dense.ParallelFrobNorm2Diff(d.a[n], d.prevA[n], d.opt.Workers)
+				den := dense.FrobNorm2(d.a[n])
+				if den > 0 {
+					delta += math.Sqrt(num / den)
+				}
+			}
+		})
+		res.Delta = delta
+		if math.Abs(delta-deltaPrev) < d.opt.Tol {
+			res.Converged = true
+			break
+		}
+		deltaPrev = delta
+	}
+
+	if d.opt.TrackFit {
+		d.bd.Time(trace.Misc, func() { res.Fit = d.sliceFit(x) })
+	}
+	d.bd.Time(trace.Post, d.finishSlice)
+	return res, nil
+}
+
+// ensurePsi lazily allocates the Ψ workspace (one Iₙ×K matrix per mode).
+func (d *Decomposer) ensurePsi() {
+	if d.psi != nil {
+		return
+	}
+	d.psi = make([]*dense.Matrix, d.n)
+	for m, dim := range d.dims {
+		d.psi[m] = dense.NewMatrix(dim, d.k)
+	}
+}
+
+// addMulAB computes dst += a·b with the row dimension parallelized
+// (a: I×K, b: K×K, dst: I×K).
+func addMulAB(dst, a, b *dense.Matrix, workers int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("core: addMulAB shape mismatch")
+	}
+	n := b.Cols
+	parallel.For(a.Rows, workers, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			ra := a.Row(i)
+			rd := dst.Row(i)
+			for kk, av := range ra {
+				if av == 0 {
+					continue
+				}
+				rb := b.Data[kk*b.Stride : kk*b.Stride+n]
+				for j, bv := range rb {
+					rd[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// solveRowsParallel computes dst = rhs·Φ⁻¹ row by row using the shared
+// Cholesky factor, parallelized over rows.
+func solveRowsParallel(dst, rhs *dense.Matrix, chol *dense.Cholesky, workers int) {
+	if dst.Rows != rhs.Rows || dst.Cols != rhs.Cols {
+		panic("core: solveRowsParallel shape mismatch")
+	}
+	parallel.For(rhs.Rows, workers, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			row := dst.Row(i)
+			copy(row, rhs.Row(i))
+			chol.SolveVec(row)
+		}
+	})
+}

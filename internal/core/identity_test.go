@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spstream/internal/dense"
+	"spstream/internal/synth"
+)
+
+// Direct property tests for the algebraic identities spCP-stream is
+// built on (paper Eqs. 10–17), independent of the solver code.
+
+// randomSplit builds a random I×K matrix and a random nz/z row split.
+func randomSplit(seed uint64, rows, k int) (a *dense.Matrix, nz, z []int) {
+	r := synth.NewRNG(seed)
+	a = dense.NewMatrix(rows, k)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	for i := 0; i < rows; i++ {
+		if r.Float64() < 0.3 {
+			nz = append(nz, i)
+		} else {
+			z = append(z, i)
+		}
+	}
+	return a, nz, z
+}
+
+// Eq. 10: C = AᵀA = A_nzᵀA_nz + A_zᵀA_z.
+func TestGramSplitIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, nz, z := randomSplit(seed, 40, 5)
+		full := dense.NewMatrix(5, 5)
+		dense.Gram(full, a)
+		cnz := dense.NewMatrix(5, 5)
+		dense.Gram(cnz, dense.GatherRows(a, nz))
+		cz := dense.NewMatrix(5, 5)
+		dense.Gram(cz, dense.GatherRows(a, z))
+		sum := dense.NewMatrix(5, 5)
+		dense.Add(sum, cnz, cz)
+		return sum.Equal(full, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Eq. 11: if A_z = A_z,prev·T then A_zᵀA_z = Tᵀ·C_z,prev·T.
+func TestZRowTransformGramIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		aPrev, _, z := randomSplit(seed, 30, 4)
+		r := synth.NewRNG(seed + 1)
+		tr := dense.NewMatrix(4, 4)
+		for i := range tr.Data {
+			tr.Data[i] = r.NormFloat64()
+		}
+		azPrev := dense.GatherRows(aPrev, z)
+		az := dense.NewMatrix(azPrev.Rows, 4)
+		dense.MulAB(az, azPrev, tr)
+		// Left: Gram of the transformed rows.
+		left := dense.NewMatrix(4, 4)
+		dense.Gram(left, az)
+		// Right: Tᵀ·C_z,prev·T.
+		czPrev := dense.NewMatrix(4, 4)
+		dense.Gram(czPrev, azPrev)
+		tmp := dense.NewMatrix(4, 4)
+		dense.MulAB(tmp, czPrev, tr)
+		right := dense.NewMatrix(4, 4)
+		dense.MulAtB(right, tr, tmp)
+		return left.Equal(right, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Eq. 13: H_z = A_z,prevᵀ·(A_z,prev·T) = C_z,prev·T.
+func TestHzIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		aPrev, _, z := randomSplit(seed, 25, 3)
+		r := synth.NewRNG(seed + 2)
+		tr := dense.NewMatrix(3, 3)
+		for i := range tr.Data {
+			tr.Data[i] = r.NormFloat64()
+		}
+		azPrev := dense.GatherRows(aPrev, z)
+		az := dense.NewMatrix(azPrev.Rows, 3)
+		dense.MulAB(az, azPrev, tr)
+		left := dense.NewMatrix(3, 3)
+		dense.MulAtB(left, azPrev, az)
+		czPrev := dense.NewMatrix(3, 3)
+		dense.Gram(czPrev, azPrev)
+		right := dense.NewMatrix(3, 3)
+		dense.MulAB(right, czPrev, tr)
+		return left.Equal(right, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Eqs. 16–17: ‖A‖²_F = tr(C) and
+// ‖A−B‖²_F = tr(C_A) + tr(C_B) − 2·tr(AᵀB).
+func TestTraceNormIdentities(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := synth.NewRNG(seed)
+		a := dense.NewMatrix(20, 4)
+		b := dense.NewMatrix(20, 4)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+			b.Data[i] = r.NormFloat64()
+		}
+		ca := dense.NewMatrix(4, 4)
+		cb := dense.NewMatrix(4, 4)
+		h := dense.NewMatrix(4, 4)
+		dense.Gram(ca, a)
+		dense.Gram(cb, b)
+		dense.MulAtB(h, a, b)
+		if math.Abs(dense.FrobNorm2(a)-dense.Trace(ca)) > 1e-9 {
+			return false
+		}
+		want := dense.FrobNorm2Diff(a, b)
+		got := dense.Trace(ca) + dense.Trace(cb) - 2*dense.Trace(h)
+		return math.Abs(want-got) < 1e-8*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The collapsed update (Eq. 4) splits exactly into the nz part (Eq. 7)
+// and the z part (Eq. 6): rows untouched by the slice receive no
+// MTTKRP contribution, so their update is the pure Gram transform.
+func TestCollapsedUpdateSplit(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := synth.NewRNG(seed)
+		const rows, k = 18, 3
+		aPrev, nz, z := randomSplit(seed, rows, k)
+		// Random SPD Φ and transform Q.
+		b := dense.NewMatrix(k+2, k)
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		phi := dense.NewMatrix(k, k)
+		dense.Gram(phi, b)
+		dense.AddScaledIdentity(phi, phi, 1)
+		q := dense.NewMatrix(k, k)
+		for i := range q.Data {
+			q.Data[i] = r.NormFloat64()
+		}
+		// MTTKRP output that is zero on z rows (by construction).
+		mtt := dense.NewMatrix(rows, k)
+		for _, i := range nz {
+			row := mtt.Row(i)
+			for j := range row {
+				row[j] = r.NormFloat64()
+			}
+		}
+		// Full update: A = (MTTKRP + Aprev·Q)·Φ⁻¹.
+		full := dense.NewMatrix(rows, k)
+		dense.MulAB(full, aPrev, q)
+		dense.Add(full, full, mtt)
+		chol, err := dense.Factor(phi)
+		if err != nil {
+			return false
+		}
+		chol.SolveRows(full)
+		// Z-part shortcut: A_z = A_z,prev·(Q·Φ⁻¹).
+		tr := dense.NewMatrix(k, k)
+		chol.SolveRowsInto(tr, q)
+		azPrev := dense.GatherRows(aPrev, z)
+		az := dense.NewMatrix(azPrev.Rows, k)
+		dense.MulAB(az, azPrev, tr)
+		for local, i := range z {
+			for j := 0; j < k; j++ {
+				if math.Abs(az.At(local, j)-full.At(i, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

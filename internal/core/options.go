@@ -1,0 +1,201 @@
+// Package core implements the CP-stream family of streaming tensor
+// decomposition algorithms from the paper:
+//
+//   - Baseline: Algorithm 1 with the original kernel choices — lock-pool
+//     MTTKRP (including a single-lock streaming-mode update) and, for
+//     constrained problems, the pass-per-operation ADMM of Algorithm 2.
+//   - Optimized: Algorithm 1 with the paper's optimized kernels — Hybrid
+//     Lock MTTKRP, thread-local streaming-mode reduction, and Blocked &
+//     Fused ADMM (Algorithm 3) for constraints.
+//   - SpCPStream: the paper's new Algorithm 4 for non-constrained
+//     problems — factor rows are partitioned into nz/z subsets, the z
+//     subset is carried implicitly in K×K Gram form, and convergence is
+//     checked from traces of the C and H Gram matrices.
+//
+// All three produce a rank-K factorization {A⁽¹⁾,…,A⁽ᴺ⁾, S} of a stream
+// of N-way slices, with forgetting factor µ weighting history through
+// the temporal Gram matrix G.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spstream/internal/admm"
+	"spstream/internal/parallel"
+)
+
+// Algorithm selects the solver variant.
+type Algorithm int
+
+const (
+	// Baseline is the unoptimized CP-stream reference.
+	Baseline Algorithm = iota
+	// Optimized is CP-stream with Hybrid Lock MTTKRP and BF-ADMM.
+	Optimized
+	// SpCPStream is the paper's new Gram-form algorithm (non-constrained
+	// only).
+	SpCPStream
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Baseline:
+		return "baseline"
+	case Optimized:
+		return "optimized"
+	case SpCPStream:
+		return "spcp-stream"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configure a Decomposer. Zero values select the paper's
+// defaults where one exists.
+type Options struct {
+	// Rank K of the decomposition. Required.
+	Rank int
+	// Algorithm variant. Default Optimized.
+	Algorithm Algorithm
+	// Mu is the forgetting factor µ ∈ [0,1]. Default 0.99 (paper §VI-B).
+	Mu float64
+	// Tol is the outer-loop tolerance ε on |δₜ − δₜ₋₁|. Default 1e-5.
+	Tol float64
+	// MaxIters bounds the inner (per-slice) iteration count. Default 20.
+	MaxIters int
+	// StreamRidge is the Frobenius regularization on the streaming-mode
+	// solve (paper §VI-B uses 1e-2). Default 1e-2.
+	StreamRidge float64
+	// FactorRidgeRel scales the ridge added to Φ⁽ⁿ⁾ before factorization,
+	// relative to tr(Φ)/K. Default 1e-6.
+	FactorRidgeRel float64
+	// Workers is the parallel width (≤0 = GOMAXPROCS).
+	Workers int
+	// Constraint, when non-nil, activates constrained CP-stream with the
+	// ADMM inner solver. SpCPStream rejects constraints (paper §VII).
+	Constraint admm.Constraint
+	// ADMMTol and ADMMMaxIters configure the inner ADMM loop.
+	// Defaults 1e-4 / 50.
+	ADMMTol      float64
+	ADMMMaxIters int
+	// Seed drives the random factor initialization. Default 1.
+	Seed uint64
+	// TrackFit enables per-slice fit computation (extra nnz·K work).
+	TrackFit bool
+	// Normalize applies the per-iteration normalize(C, H) of Algorithm 4
+	// (line 30): after every mode update, that mode's factor columns are
+	// rescaled to unit norm (norms taken from diag(C), so the Gram-form
+	// algorithm needs no explicit factors), with the scales absorbed
+	// into sₜ.
+	Normalize bool
+	// DirectCz disables the incremental C_z,t−1 maintenance of
+	// Algorithm 4 lines 8–11 and recomputes C_z,t−1 = C − A_nzᵀA_nz
+	// from scratch every slice. Slower when consecutive slices share
+	// most of their nz sets; exists for the ablation benchmark and as a
+	// numerical cross-check (spCP-stream only).
+	DirectCz bool
+	// SortedMTTKRP makes the explicit algorithms (Baseline/Optimized)
+	// use the sorted-segment MTTKRP kernel: each slice is sorted once
+	// per mode (amortized over the inner iterations) and updates become
+	// contention-free without thread-local copies. An extension in the
+	// direction of the paper's related work [14]–[16].
+	SortedMTTKRP bool
+	// CSFMTTKRP makes the explicit algorithms use the Compressed Sparse
+	// Fiber forest (SPLATT's format, related work [15]): one fiber tree
+	// per mode is built per slice and the MTTKRP reuses partial
+	// Khatri-Rao products along shared index prefixes. Mutually
+	// exclusive with SortedMTTKRP.
+	CSFMTTKRP bool
+	// ConstrainedSpCP enables the experimental constrained spCP-stream
+	// extension — the integration of ADMM into spCP-stream that the
+	// paper names as future work (§VII). The nz rows are solved exactly
+	// with ADMM each inner iteration; the implicit z rows remain linear
+	// during the inner loop and are materialized and projected once per
+	// slice, after which the Gram state is re-synchronized. This is an
+	// approximation: z rows are feasible at slice boundaries but the
+	// inner iterations see their unprojected Grams. Constraints that
+	// need global column norms are not supported on this path.
+	ConstrainedSpCP bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mu == 0 {
+		o.Mu = 0.99
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-5
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 20
+	}
+	if o.StreamRidge <= 0 {
+		o.StreamRidge = 1e-2
+	}
+	if o.FactorRidgeRel <= 0 {
+		o.FactorRidgeRel = 1e-6
+	}
+	if o.Workers <= 0 {
+		o.Workers = parallel.DefaultWorkers()
+	}
+	if o.ADMMTol <= 0 {
+		o.ADMMTol = 1e-4
+	}
+	if o.ADMMMaxIters <= 0 {
+		o.ADMMMaxIters = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate(dims []int) error {
+	if o.Rank < 1 {
+		return errors.New("core: Rank must be ≥ 1")
+	}
+	if len(dims) < 2 {
+		return fmt.Errorf("core: need ≥ 2 non-streaming modes, got %d", len(dims))
+	}
+	for m, d := range dims {
+		if d < 1 {
+			return fmt.Errorf("core: mode %d has non-positive length %d", m, d)
+		}
+	}
+	if o.Mu < 0 || o.Mu > 1 {
+		return fmt.Errorf("core: forgetting factor µ=%g outside [0,1]", o.Mu)
+	}
+	if o.SortedMTTKRP && o.CSFMTTKRP {
+		return errors.New("core: SortedMTTKRP and CSFMTTKRP are mutually exclusive")
+	}
+	if o.Algorithm == SpCPStream && o.Constraint != nil {
+		if !o.ConstrainedSpCP {
+			return errors.New("core: spCP-stream does not support constraints (paper §VII); set ConstrainedSpCP to enable the experimental extension")
+		}
+		if o.Constraint.NeedsColNorms() {
+			return errors.New("core: constrained spCP-stream does not support column-norm constraints")
+		}
+	}
+	return nil
+}
+
+// SliceResult reports the outcome of processing one time slice.
+type SliceResult struct {
+	// T is the 0-based time index of the slice just processed.
+	T int
+	// NNZ is the slice's nonzero count.
+	NNZ int
+	// Iters is the number of inner iterations run.
+	Iters int
+	// Delta is the final convergence measure δₜ (Eq. 15).
+	Delta float64
+	// Converged reports whether |δ−δ_prev| < Tol within MaxIters.
+	Converged bool
+	// ADMMIters is the total ADMM iteration count across modes and
+	// inner iterations (constrained runs only).
+	ADMMIters int
+	// Fit is 1 − ‖X−X̂‖/‖X‖ for this slice (TrackFit only, else NaN).
+	Fit float64
+}

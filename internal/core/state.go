@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"spstream/internal/dense"
+)
+
+// Checkpointing: a Decomposer's streaming state can be serialized
+// between slices and restored into a fresh Decomposer with the same
+// dims and Options, so long-running deployments can survive restarts
+// without replaying the stream. The format captures exactly the state
+// that crosses slice boundaries: the factors, their Gram invariants,
+// the temporal Gram G, the temporal history S, the slice counter, and
+// (for spCP-stream) the previous nz sets and z-row Grams.
+
+// stateMagic identifies the checkpoint container and its version.
+var stateMagic = [8]byte{'S', 'P', 'S', 'T', 'R', 'M', '0', '1'}
+
+// SaveState serializes the decomposer's streaming state. It must be
+// called between slices (never concurrently with ProcessSlice).
+func (d *Decomposer) SaveState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(stateMagic[:]); err != nil {
+		return err
+	}
+	writeU64 := func(v uint64) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := writeU64(uint64(d.n)); err != nil {
+		return err
+	}
+	for _, dim := range d.dims {
+		if err := writeU64(uint64(dim)); err != nil {
+			return err
+		}
+	}
+	if err := writeU64(uint64(d.k)); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(d.t)); err != nil {
+		return err
+	}
+	// Factors, Gram invariants, z-row Grams.
+	for m := range d.a {
+		if err := writeMatrix(bw, d.a[m]); err != nil {
+			return err
+		}
+		if err := writeMatrix(bw, d.c[m]); err != nil {
+			return err
+		}
+		if err := writeMatrix(bw, d.cz[m]); err != nil {
+			return err
+		}
+	}
+	if err := writeMatrix(bw, d.g); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, d.s); err != nil {
+		return err
+	}
+	// Temporal history.
+	if err := writeU64(uint64(len(d.sHist))); err != nil {
+		return err
+	}
+	for _, row := range d.sHist {
+		if err := binary.Write(bw, binary.LittleEndian, row); err != nil {
+			return err
+		}
+	}
+	// spCP nz sets (presence flag + per-mode lists).
+	if d.prevNZ == nil {
+		if err := writeU64(0); err != nil {
+			return err
+		}
+	} else {
+		if err := writeU64(1); err != nil {
+			return err
+		}
+		for _, nz := range d.prevNZ {
+			if err := writeU64(uint64(len(nz))); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, nz); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RestoreState loads a checkpoint written by SaveState into this
+// decomposer. The decomposer must have been created with the same dims
+// and rank; mismatches are rejected.
+func (d *Decomposer) RestoreState(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if magic != stateMagic {
+		return fmt.Errorf("core: bad checkpoint magic %q", magic)
+	}
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	n, err := readU64()
+	if err != nil {
+		return err
+	}
+	if int(n) != d.n {
+		return fmt.Errorf("core: checkpoint has %d modes, decomposer %d", n, d.n)
+	}
+	for m := 0; m < d.n; m++ {
+		dim, err := readU64()
+		if err != nil {
+			return err
+		}
+		if int(dim) != d.dims[m] {
+			return fmt.Errorf("core: checkpoint mode %d length %d ≠ %d", m, dim, d.dims[m])
+		}
+	}
+	k, err := readU64()
+	if err != nil {
+		return err
+	}
+	if int(k) != d.k {
+		return fmt.Errorf("core: checkpoint rank %d ≠ %d", k, d.k)
+	}
+	t, err := readU64()
+	if err != nil {
+		return err
+	}
+	for m := 0; m < d.n; m++ {
+		if err := readMatrix(br, d.a[m]); err != nil {
+			return err
+		}
+		if err := readMatrix(br, d.c[m]); err != nil {
+			return err
+		}
+		if err := readMatrix(br, d.cz[m]); err != nil {
+			return err
+		}
+	}
+	if err := readMatrix(br, d.g); err != nil {
+		return err
+	}
+	if err := binary.Read(br, binary.LittleEndian, d.s); err != nil {
+		return err
+	}
+	histLen, err := readU64()
+	if err != nil {
+		return err
+	}
+	if histLen != t {
+		return fmt.Errorf("core: checkpoint has %d temporal rows for t=%d", histLen, t)
+	}
+	d.sHist = make([][]float64, histLen)
+	for i := range d.sHist {
+		row := make([]float64, d.k)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return err
+		}
+		d.sHist[i] = row
+	}
+	hasNZ, err := readU64()
+	if err != nil {
+		return err
+	}
+	if hasNZ == 0 {
+		d.prevNZ = nil
+	} else {
+		d.prevNZ = make([][]int32, d.n)
+		for m := 0; m < d.n; m++ {
+			cnt, err := readU64()
+			if err != nil {
+				return err
+			}
+			if cnt > uint64(d.dims[m]) {
+				return fmt.Errorf("core: checkpoint nz set of mode %d has %d entries for dim %d", m, cnt, d.dims[m])
+			}
+			nz := make([]int32, cnt)
+			if err := binary.Read(br, binary.LittleEndian, nz); err != nil {
+				return err
+			}
+			d.prevNZ[m] = nz
+		}
+	}
+	d.t = int(t)
+	return nil
+}
+
+func writeMatrix(w io.Writer, m *dense.Matrix) error {
+	for i := 0; i < m.Rows; i++ {
+		if err := binary.Write(w, binary.LittleEndian, m.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readMatrix(r io.Reader, m *dense.Matrix) error {
+	for i := 0; i < m.Rows; i++ {
+		if err := binary.Read(r, binary.LittleEndian, m.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

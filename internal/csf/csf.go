@@ -1,0 +1,228 @@
+// Package csf implements a Compressed Sparse Fiber tensor — the storage
+// format of SPLATT (Smith & Karypis, the paper's related work [15]) —
+// and an MTTKRP kernel over it. CSF arranges a slice's nonzeros as a
+// forest: one tree level per mode, with nonzeros sharing an index
+// prefix sharing the corresponding tree path. The MTTKRP then reuses
+// each internal node's partial Khatri-Rao product across all of its
+// leaves, cutting the per-nonzero work from (N−1)·K multiplies to
+// roughly K at the deepest level, and — like the sorted-segment kernel —
+// each root owns its output row, so no synchronization is needed.
+//
+// The paper's own kernels operate on plain COO; this package exists as
+// the storage-format counterpoint its related-work section contrasts
+// against, with benchmarks comparing the two directions (bench_test.go).
+package csf
+
+import (
+	"fmt"
+	"sort"
+
+	"spstream/internal/dense"
+	"spstream/internal/parallel"
+	"spstream/internal/sptensor"
+)
+
+// Level is one depth of the fiber forest. Node i at this level has
+// index IDs[i] (in its mode's index space) and children (or value
+// range, at the deepest level) [Ptr[i], Ptr[i+1]).
+type Level struct {
+	IDs []int32
+	Ptr []int32
+}
+
+// Tensor is a CSF representation of a sparse tensor for one mode
+// ordering. Order[0] is the root mode whose MTTKRP this tree computes
+// without synchronization.
+type Tensor struct {
+	Order []int // mode permutation: tree level l holds mode Order[l]
+	Dims  []int // original mode lengths
+	// Levels has one entry per mode; Levels[len-1].Ptr indexes Vals.
+	Levels []Level
+	Vals   []float64
+}
+
+// New builds the CSF tree for x with the given mode ordering (a
+// permutation of 0..N-1). The input is not modified.
+func New(x *sptensor.Tensor, order []int) (*Tensor, error) {
+	n := x.NModes()
+	if len(order) != n {
+		return nil, fmt.Errorf("csf: order has %d modes, tensor %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, m := range order {
+		if m < 0 || m >= n || seen[m] {
+			return nil, fmt.Errorf("csf: order %v is not a permutation", order)
+		}
+		seen[m] = true
+	}
+	t := &Tensor{
+		Order:  append([]int(nil), order...),
+		Dims:   append([]int(nil), x.Dims...),
+		Levels: make([]Level, n),
+	}
+	nnz := x.NNZ()
+	perm := make([]int, nnz)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		for _, m := range order {
+			ia, ib := x.Inds[m][perm[a]], x.Inds[m][perm[b]]
+			if ia != ib {
+				return ia < ib
+			}
+		}
+		return false
+	})
+	t.Vals = make([]float64, nnz)
+	for i, p := range perm {
+		t.Vals[i] = x.Vals[p]
+	}
+	// Build levels top-down: a new node opens at level l whenever any
+	// index at levels ≤ l changes.
+	for l := 0; l < n; l++ {
+		mode := order[l]
+		var ids, ptr []int32
+		for e := 0; e < nnz; e++ {
+			boundary := e == 0
+			if !boundary {
+				for ll := 0; ll <= l; ll++ {
+					if x.Inds[order[ll]][perm[e]] != x.Inds[order[ll]][perm[e-1]] {
+						boundary = true
+						break
+					}
+				}
+			}
+			if boundary {
+				ids = append(ids, x.Inds[mode][perm[e]])
+				ptr = append(ptr, int32(e))
+			}
+		}
+		ptr = append(ptr, int32(nnz))
+		// Convert leaf offsets into child-node offsets for non-leaf
+		// levels (done after the next level exists; see fixup below).
+		t.Levels[l] = Level{IDs: ids, Ptr: ptr}
+	}
+	// Fix up Ptr for internal levels: they currently point at nonzero
+	// ranges; convert to child-index ranges by locating each boundary in
+	// the next level's nonzero starts.
+	for l := 0; l < n-1; l++ {
+		next := t.Levels[l+1]
+		cur := &t.Levels[l]
+		childAt := make(map[int32]int32, len(next.Ptr))
+		for i, start := range next.Ptr {
+			childAt[start] = int32(i)
+		}
+		for i, start := range cur.Ptr {
+			ci, ok := childAt[start]
+			if !ok {
+				return nil, fmt.Errorf("csf: internal boundary mismatch at level %d node %d", l, i)
+			}
+			cur.Ptr[i] = ci
+		}
+	}
+	return t, nil
+}
+
+// NNZ returns the stored nonzero count.
+func (t *Tensor) NNZ() int { return len(t.Vals) }
+
+// Roots returns the number of root nodes (distinct root-mode indices).
+func (t *Tensor) Roots() int { return len(t.Levels[0].IDs) }
+
+// MTTKRPRoot computes out = MTTKRP(x, factors, Order[0]) — the MTTKRP
+// for the tree's root mode — by a depth-first traversal that reuses
+// each internal node's partial product across its subtree. Roots are
+// distributed over workers; every output row is owned by exactly one
+// root, so the kernel is synchronization-free.
+func (t *Tensor) MTTKRPRoot(out *dense.Matrix, factors []*dense.Matrix, workers int) {
+	n := len(t.Order)
+	k := factors[0].Cols
+	if out.Rows != t.Dims[t.Order[0]] || out.Cols != k {
+		panic("csf: output shape mismatch")
+	}
+	for m, f := range factors {
+		if f.Rows != t.Dims[m] || f.Cols != k {
+			panic("csf: factor shape mismatch")
+		}
+	}
+	out.Zero()
+	if t.NNZ() == 0 {
+		return
+	}
+	parallel.For(t.Roots(), workers, func(_ int, r parallel.Range) {
+		// acc[l] accumulates the partial result flowing up to level l.
+		acc := dense.NewMatrix(n, k)
+		for root := r.Lo; root < r.Hi; root++ {
+			rowOut := out.Row(int(t.Levels[0].IDs[root]))
+			t.walk(1, int(t.Levels[0].Ptr[root]), int(t.Levels[0].Ptr[root+1]), factors, acc, rowOut)
+		}
+	})
+}
+
+// walk processes nodes [lo, hi) of level l, accumulating each node's
+// subtree contribution (element-wise scaled by the node's factor row)
+// into dst.
+func (t *Tensor) walk(l, lo, hi int, factors []*dense.Matrix, acc *dense.Matrix, dst []float64) {
+	mode := t.Order[l]
+	level := t.Levels[l]
+	last := len(t.Order) - 1
+	for node := lo; node < hi; node++ {
+		row := factors[mode].Row(int(level.IDs[node]))
+		if l == last {
+			// Leaf: contribution = Σ vals · row.
+			sum := 0.0
+			for e := level.Ptr[node]; e < level.Ptr[node+1]; e++ {
+				sum += t.Vals[e]
+			}
+			for j := range dst {
+				dst[j] += sum * row[j]
+			}
+			continue
+		}
+		// Internal node: recurse into children, then scale by this
+		// node's row.
+		sub := acc.Row(l)
+		for j := range sub {
+			sub[j] = 0
+		}
+		t.walk(l+1, int(level.Ptr[node]), int(level.Ptr[node+1]), factors, acc, sub)
+		for j := range dst {
+			dst[j] += sub[j] * row[j]
+		}
+	}
+}
+
+// Forest holds one CSF tree rooted at every mode (SPLATT's ALLMODE
+// strategy), so the MTTKRP of any mode runs synchronization-free at the
+// cost of N-fold storage.
+type Forest struct {
+	Trees []*Tensor
+}
+
+// NewForest builds a tree per mode, each rooted at that mode with the
+// remaining modes in increasing order.
+func NewForest(x *sptensor.Tensor) (*Forest, error) {
+	n := x.NModes()
+	f := &Forest{Trees: make([]*Tensor, n)}
+	for root := 0; root < n; root++ {
+		order := make([]int, 0, n)
+		order = append(order, root)
+		for m := 0; m < n; m++ {
+			if m != root {
+				order = append(order, m)
+			}
+		}
+		tree, err := New(x, order)
+		if err != nil {
+			return nil, err
+		}
+		f.Trees[root] = tree
+	}
+	return f, nil
+}
+
+// MTTKRP computes the MTTKRP for the given mode using its tree.
+func (f *Forest) MTTKRP(out *dense.Matrix, factors []*dense.Matrix, mode, workers int) {
+	f.Trees[mode].MTTKRPRoot(out, factors, workers)
+}

@@ -1,0 +1,173 @@
+package csf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spstream/internal/dense"
+	"spstream/internal/mttkrp"
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+)
+
+func randomSlice(seed uint64, dims []int, nnz int) *sptensor.Tensor {
+	r := synth.NewRNG(seed)
+	x := sptensor.New(dims...)
+	coord := make([]int32, len(dims))
+	for e := 0; e < nnz; e++ {
+		for m, d := range dims {
+			coord[m] = int32(r.Intn(d))
+		}
+		x.Append(coord, r.NormFloat64())
+	}
+	x.Coalesce()
+	return x
+}
+
+func randomFactors(seed uint64, dims []int, k int) []*dense.Matrix {
+	r := synth.NewRNG(seed)
+	out := make([]*dense.Matrix, len(dims))
+	for m, d := range dims {
+		f := dense.NewMatrix(d, k)
+		for i := range f.Data {
+			f.Data[i] = r.NormFloat64()
+		}
+		out[m] = f
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	x := randomSlice(1, []int{4, 5}, 10)
+	if _, err := New(x, []int{0}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := New(x, []int{0, 0}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	if _, err := New(x, []int{0, 2}); err == nil {
+		t.Fatal("out-of-range order accepted")
+	}
+	tree, err := New(x, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NNZ() != x.NNZ() {
+		t.Fatal("nnz changed")
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	x := sptensor.New(3, 4, 2)
+	x.Append([]int32{0, 1, 0}, 1)
+	x.Append([]int32{0, 1, 1}, 2)
+	x.Append([]int32{0, 2, 0}, 3)
+	x.Append([]int32{2, 0, 1}, 4)
+	tree, err := New(x, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roots: indices 0 and 2.
+	if tree.Roots() != 2 || tree.Levels[0].IDs[0] != 0 || tree.Levels[0].IDs[1] != 2 {
+		t.Fatalf("roots = %v", tree.Levels[0].IDs)
+	}
+	// Level 1: fibers (0,1), (0,2), (2,0).
+	if len(tree.Levels[1].IDs) != 3 {
+		t.Fatalf("level 1 = %v", tree.Levels[1].IDs)
+	}
+	// Root 0 has children [0,2), root 2 has [2,3).
+	if tree.Levels[0].Ptr[0] != 0 || tree.Levels[0].Ptr[1] != 2 || tree.Levels[0].Ptr[2] != 3 {
+		t.Fatalf("root ptr = %v", tree.Levels[0].Ptr)
+	}
+	// Leaves: 4 distinct coordinates.
+	if len(tree.Levels[2].IDs) != 4 {
+		t.Fatalf("leaves = %v", tree.Levels[2].IDs)
+	}
+}
+
+// CSF MTTKRP must match the COO reference for every mode, via the
+// per-mode forest.
+func TestForestMatchesSequential(t *testing.T) {
+	f := func(seed uint64) bool {
+		dims := []int{12, 18, 9}
+		x := randomSlice(seed, dims, 200)
+		factors := randomFactors(seed+1, dims, 4)
+		forest, err := NewForest(x)
+		if err != nil {
+			return false
+		}
+		for mode := range dims {
+			want := dense.NewMatrix(dims[mode], 4)
+			mttkrp.Sequential(want, x, factors, mode)
+			for _, workers := range []int{1, 4} {
+				got := dense.NewMatrix(dims[mode], 4)
+				forest.MTTKRP(got, factors, mode, workers)
+				if got.MaxAbsDiff(want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFourWayForest(t *testing.T) {
+	dims := []int{6, 5, 4, 7}
+	x := randomSlice(3, dims, 150)
+	factors := randomFactors(4, dims, 3)
+	forest, err := NewForest(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mode := range dims {
+		want := dense.NewMatrix(dims[mode], 3)
+		mttkrp.Sequential(want, x, factors, mode)
+		got := dense.NewMatrix(dims[mode], 3)
+		forest.MTTKRP(got, factors, mode, 2)
+		if got.MaxAbsDiff(want) > 1e-9 {
+			t.Fatalf("mode %d: CSF differs from reference", mode)
+		}
+	}
+}
+
+func TestEmptyTensor(t *testing.T) {
+	x := sptensor.New(5, 5)
+	tree, err := New(x, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factors := randomFactors(9, []int{5, 5}, 2)
+	out := dense.NewMatrix(5, 2)
+	out.Fill(3)
+	tree.MTTKRPRoot(out, factors, 2)
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatal("empty CSF MTTKRP must zero the output")
+		}
+	}
+}
+
+// The CSF structure must compress shared prefixes: a tensor whose
+// nonzeros share few root indices has far fewer level-1 nodes than
+// nonzeros.
+func TestPrefixCompression(t *testing.T) {
+	x := sptensor.New(4, 1000, 1000)
+	r := synth.NewRNG(5)
+	for e := 0; e < 3000; e++ {
+		x.Append([]int32{int32(r.Intn(4)), int32(r.Intn(1000)), int32(r.Intn(1000))}, 1)
+	}
+	x.Coalesce()
+	tree, err := New(x, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Roots() > 4 {
+		t.Fatalf("roots = %d", tree.Roots())
+	}
+	if len(tree.Levels[1].IDs) >= x.NNZ() {
+		t.Fatal("no prefix compression at level 1")
+	}
+}

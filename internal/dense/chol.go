@@ -1,0 +1,150 @@
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when Cholesky factorization encounters a
+// non-positive pivot, i.e. the input is not (numerically) symmetric
+// positive definite.
+var ErrNotSPD = errors.New("dense: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix
+// Φ = L·Lᵀ. The factor is stored compactly and reused across the many
+// solves CP-stream performs against the same Φ within one ADMM call.
+type Cholesky struct {
+	n int
+	l *Matrix // lower triangle, including diagonal; upper is garbage
+}
+
+// Factor computes the Cholesky factorization of SPD matrix a (which is
+// not modified). It returns ErrNotSPD when a pivot is not positive.
+func Factor(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: Cholesky of non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := a.Clone()
+	for j := 0; j < n; j++ {
+		rowJ := l.Row(j)
+		d := rowJ[j]
+		for p := 0; p < j; p++ {
+			d -= rowJ[p] * rowJ[p]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w (pivot %d = %g)", ErrNotSPD, j, d)
+		}
+		d = math.Sqrt(d)
+		rowJ[j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			rowI := l.Row(i)
+			s := rowI[j]
+			for p := 0; p < j; p++ {
+				s -= rowI[p] * rowJ[p]
+			}
+			rowI[j] = s * inv
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// FactorRidge factors a + ridge·I without modifying a. CP-stream uses
+// this for Φ + ρI in ADMM and Φ + λI ridge solves.
+func FactorRidge(a *Matrix, ridge float64) (*Cholesky, error) {
+	tmp := a.Clone()
+	AddScaledIdentity(tmp, tmp, ridge)
+	return Factor(tmp)
+}
+
+// N returns the factored dimension.
+func (c *Cholesky) N() int { return c.n }
+
+// L returns a copy of the lower-triangular factor with zeroed upper part.
+func (c *Cholesky) L() *Matrix {
+	out := NewMatrix(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		copy(out.Row(i)[:i+1], c.l.Row(i)[:i+1])
+	}
+	return out
+}
+
+// SolveVec solves (L·Lᵀ)·x = b in place: b is overwritten with x.
+func (c *Cholesky) SolveVec(b []float64) {
+	if len(b) != c.n {
+		panic("dense: SolveVec length mismatch")
+	}
+	// Forward substitution L·y = b.
+	for i := 0; i < c.n; i++ {
+		row := c.l.Row(i)
+		s := b[i]
+		for p := 0; p < i; p++ {
+			s -= row[p] * b[p]
+		}
+		b[i] = s / row[i]
+	}
+	// Back substitution Lᵀ·x = y.
+	for i := c.n - 1; i >= 0; i-- {
+		s := b[i]
+		for p := i + 1; p < c.n; p++ {
+			s -= c.l.Data[p*c.l.Stride+i] * b[p]
+		}
+		b[i] = s / c.l.Data[i*c.l.Stride+i]
+	}
+}
+
+// SolveRows solves X·(L·Lᵀ) = B for X where B is m×n, overwriting B with
+// X row by row. Because L·Lᵀ is symmetric, X = B·(LLᵀ)⁻¹ is obtained by
+// solving (LLᵀ)·xᵢᵀ = bᵢᵀ for each row bᵢ. This is exactly the
+// "A ← Ψ·Φ⁻¹" update of CP-stream with Ψ stored row-major.
+func (c *Cholesky) SolveRows(b *Matrix) {
+	if b.Cols != c.n {
+		panic("dense: SolveRows column mismatch")
+	}
+	for i := 0; i < b.Rows; i++ {
+		c.SolveVec(b.Row(i))
+	}
+}
+
+// SolveRowsInto writes the row-solve result into dst without modifying b.
+func (c *Cholesky) SolveRowsInto(dst, b *Matrix) {
+	if dst.Rows != b.Rows || dst.Cols != b.Cols {
+		panic("dense: SolveRowsInto shape mismatch")
+	}
+	if dst != b {
+		dst.CopyFrom(b)
+	}
+	c.SolveRows(dst)
+}
+
+// Inverse returns (L·Lᵀ)⁻¹ as a dense matrix. spCP-stream needs the
+// explicit inverse only through products with K×K matrices, so a dense
+// inverse of the K×K Φ is cheap and convenient.
+func (c *Cholesky) Inverse() *Matrix {
+	out := Identity(c.n)
+	c.SolveRows(out) // rows of I solved against symmetric LLᵀ gives inverse
+	return out
+}
+
+// LogDet returns log det(L·Lᵀ) = 2·Σ log L[i][i].
+func (c *Cholesky) LogDet() float64 {
+	sum := 0.0
+	for i := 0; i < c.n; i++ {
+		sum += math.Log(c.l.Data[i*c.l.Stride+i])
+	}
+	return 2 * sum
+}
+
+// SolveSPD is a convenience that factors a+ridge·I and solves X·a' = b,
+// returning the new X (b unmodified).
+func SolveSPD(a *Matrix, ridge float64, b *Matrix) (*Matrix, error) {
+	c, err := FactorRidge(a, ridge)
+	if err != nil {
+		return nil, err
+	}
+	out := b.Clone()
+	c.SolveRows(out)
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package dense
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Polarization identity: ‖a−b‖² = ‖a‖² + ‖b‖² − 2·tr(aᵀb).
+func TestFrobNormPolarization(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomMatrix(seed, 6, 4)
+		b := randomMatrix(seed+1, 6, 4)
+		cross := NewMatrix(4, 4)
+		MulAtB(cross, a, b)
+		want := FrobNorm2(a) + FrobNorm2(b) - 2*Trace(cross)
+		got := FrobNorm2Diff(a, b)
+		return math.Abs(want-got) < 1e-8*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SolveRowsInto must agree with multiplying by the explicit inverse.
+func TestSolveRowsMatchesInverse(t *testing.T) {
+	a := randomSPD(31, 5)
+	c, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randomMatrix(32, 7, 5)
+	viaSolve := NewMatrix(7, 5)
+	c.SolveRowsInto(viaSolve, b)
+	inv := c.Inverse()
+	viaInv := NewMatrix(7, 5)
+	MulAB(viaInv, b, inv)
+	if d := viaSolve.MaxAbsDiff(viaInv); d > 1e-8 {
+		t.Fatalf("solve vs inverse differ by %g", d)
+	}
+}
+
+// Schur product theorem, numerically: the Hadamard product of two SPD
+// matrices (plus a tiny ridge) must factor — this is the property that
+// keeps Φ⁽ⁿ⁾ factorable in CP-stream.
+func TestHadamardOfSPDFactorable(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomSPD(seed, 6)
+		b := randomSPD(seed+9, 6)
+		h := NewMatrix(6, 6)
+		Hadamard(h, a, b)
+		_, err := FactorRidge(h, 1e-12*Trace(h))
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scaling columns by d then by 1/d restores the matrix.
+func TestScaleColumnsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomMatrix(seed, 5, 3)
+		orig := a.Clone()
+		d := []float64{2, 0.5, 3}
+		inv := []float64{0.5, 2, 1.0 / 3}
+		ScaleColumns(a, a, d)
+		ScaleColumns(a, a, inv)
+		return a.Equal(orig, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelKernelsWithMoreWorkersThanRows(t *testing.T) {
+	a := randomMatrix(1, 3, 4)
+	b := randomMatrix(2, 4, 4)
+	serial := NewMatrix(3, 4)
+	MulAB(serial, a, b)
+	par := NewMatrix(3, 4)
+	MulABParallel(par, a, b, 64)
+	if !serial.Equal(par, 0) {
+		t.Fatal("oversubscribed MulABParallel differs")
+	}
+	g1 := NewMatrix(4, 4)
+	g2 := NewMatrix(4, 4)
+	Gram(g1, a)
+	GramParallel(g2, a, 64)
+	if !g1.Equal(g2, 1e-12) {
+		t.Fatal("oversubscribed GramParallel differs")
+	}
+}
+
+func TestGatherRowsEmpty(t *testing.T) {
+	src := randomMatrix(5, 4, 3)
+	g := GatherRows(src, nil)
+	if g.Rows != 0 || g.Cols != 3 {
+		t.Fatalf("empty gather shape %d×%d", g.Rows, g.Cols)
+	}
+	gram := NewMatrix(3, 3)
+	Gram(gram, g) // Gram of an empty matrix is zero
+	if FrobNorm2(gram) != 0 {
+		t.Fatal("Gram of empty gather not zero")
+	}
+}
+
+func TestAddScaledIdentityNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewMatrix(2, 3)
+	AddScaledIdentity(m, m, 1)
+}
+
+func TestCholeskyNearSingularRejected(t *testing.T) {
+	// A rank-1 Gram matrix must fail without a ridge and succeed with
+	// one — the exact situation of Φ at t=1 with a zero component in s.
+	v := FromRows([][]float64{{1, 2, 3}})
+	g := NewMatrix(3, 3)
+	Gram(g, v)
+	if _, err := Factor(g); err == nil {
+		t.Fatal("rank-1 Gram should not factor")
+	}
+	if _, err := FactorRidge(g, 1e-6); err != nil {
+		t.Fatalf("ridged rank-1 Gram should factor: %v", err)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatal("empty FromRows shape wrong")
+	}
+}
+
+func TestStringRendersSmallMatrices(t *testing.T) {
+	small := FromRows([][]float64{{1, 2}})
+	if s := small.String(); len(s) < 10 {
+		t.Fatalf("String too short: %q", s)
+	}
+	big := NewMatrix(100, 100)
+	if s := big.String(); len(s) > 40 {
+		t.Fatalf("large matrix String should be a summary: %q", s)
+	}
+}

@@ -1,0 +1,232 @@
+package dense
+
+import "spstream/internal/parallel"
+
+// The products below cover the shapes CP-stream needs:
+//
+//   MulAB   C = A·B        (I×K)·(K×K) → I×K   factor × Gram transform
+//   MulAtB  C = Aᵀ·B       (I×K)ᵀ·(I×K) → K×K  cross-Gram H = A_{t-1}ᵀA
+//   MulABt  C = A·Bᵀ       (I×K)·(K×K)ᵀ → I×K  solve against Cholesky out
+//   Gram    C = Aᵀ·A       (I×K) → K×K         SYRK-style symmetric Gram
+//
+// The long dimension (rows of A) is blocked and parallelized; the K×K
+// inner kernels stay dense and sequential.
+
+// MulAB computes dst = a·b where a is m×k and b is k×n. dst must be m×n
+// and must not alias a or b.
+func MulAB(dst, a, b *Matrix) { MulABParallel(dst, a, b, 1) }
+
+// MulABParallel is MulAB with the row dimension parallelized over the
+// given number of workers.
+func MulABParallel(dst, a, b *Matrix, workers int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("dense: MulAB shape mismatch")
+	}
+	n := b.Cols
+	parallel.For(a.Rows, workers, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			ra := a.Row(i)
+			rd := dst.Row(i)
+			for j := range rd {
+				rd[j] = 0
+			}
+			// k-outer loop: stream rows of b, accumulate into rd.
+			for kk, av := range ra {
+				if av == 0 {
+					continue
+				}
+				rb := b.Data[kk*b.Stride : kk*b.Stride+n]
+				for j, bv := range rb {
+					rd[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MulAtB computes dst = aᵀ·b where a is m×ka and b is m×kb; dst must be
+// ka×kb and must not alias a or b. Parallelized over row blocks of the
+// shared m dimension with per-worker partial accumulators reduced in
+// worker order (deterministic).
+func MulAtB(dst, a, b *Matrix) { MulAtBParallel(dst, a, b, 1) }
+
+// MulAtBParallel is MulAtB parallelized over the shared row dimension.
+func MulAtBParallel(dst, a, b *Matrix, workers int) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("dense: MulAtB shape mismatch")
+	}
+	ka, kb := a.Cols, b.Cols
+	ranges := parallel.Partition(a.Rows, workers)
+	if len(ranges) <= 1 {
+		dst.Zero()
+		mulAtBRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	partials := make([]*Matrix, len(ranges))
+	parallel.For(len(ranges), len(ranges), func(w int, r parallel.Range) {
+		for t := r.Lo; t < r.Hi; t++ {
+			p := NewMatrix(ka, kb)
+			mulAtBRange(p, a, b, ranges[t].Lo, ranges[t].Hi)
+			partials[t] = p
+		}
+	})
+	dst.Zero()
+	for _, p := range partials {
+		AXPY(dst, 1, p)
+	}
+}
+
+// mulAtBRange accumulates aᵀb over rows [lo,hi) into dst (+=).
+func mulAtBRange(dst, a, b *Matrix, lo, hi int) {
+	kb := b.Cols
+	for i := lo; i < hi; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for p, av := range ra {
+			if av == 0 {
+				continue
+			}
+			rd := dst.Data[p*dst.Stride : p*dst.Stride+kb]
+			for q, bv := range rb {
+				rd[q] += av * bv
+			}
+		}
+	}
+}
+
+// MulABt computes dst = a·bᵀ where a is m×k and b is n×k; dst must be m×n
+// and must not alias a or b.
+func MulABt(dst, a, b *Matrix) { MulABtParallel(dst, a, b, 1) }
+
+// MulABtParallel is MulABt with the row dimension parallelized.
+func MulABtParallel(dst, a, b *Matrix, workers int) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("dense: MulABt shape mismatch")
+	}
+	parallel.For(a.Rows, workers, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			ra := a.Row(i)
+			rd := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				rb := b.Row(j)
+				sum := 0.0
+				for p, av := range ra {
+					sum += av * rb[p]
+				}
+				rd[j] = sum
+			}
+		}
+	})
+}
+
+// Gram computes dst = aᵀ·a (K×K symmetric) exploiting symmetry: only the
+// upper triangle is accumulated, then mirrored.
+func Gram(dst, a *Matrix) { GramParallel(dst, a, 1) }
+
+// GramParallel is Gram with the row dimension parallelized via
+// deterministic per-worker partials.
+func GramParallel(dst, a *Matrix, workers int) {
+	if dst.Rows != a.Cols || dst.Cols != a.Cols {
+		panic("dense: Gram shape mismatch")
+	}
+	k := a.Cols
+	ranges := parallel.Partition(a.Rows, workers)
+	accumulate := func(p *Matrix, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Row(i)
+			for x, vx := range row {
+				if vx == 0 {
+					continue
+				}
+				rp := p.Data[x*p.Stride : x*p.Stride+k]
+				for y := x; y < k; y++ {
+					rp[y] += vx * row[y]
+				}
+			}
+		}
+	}
+	if len(ranges) <= 1 {
+		dst.Zero()
+		accumulate(dst, 0, a.Rows)
+	} else {
+		partials := make([]*Matrix, len(ranges))
+		parallel.For(len(ranges), len(ranges), func(_ int, r parallel.Range) {
+			for t := r.Lo; t < r.Hi; t++ {
+				p := NewMatrix(k, k)
+				accumulate(p, ranges[t].Lo, ranges[t].Hi)
+				partials[t] = p
+			}
+		})
+		dst.Zero()
+		for _, p := range partials {
+			AXPY(dst, 1, p)
+		}
+	}
+	// Mirror the upper triangle to the lower.
+	for x := 0; x < k; x++ {
+		for y := x + 1; y < k; y++ {
+			dst.Data[y*dst.Stride+x] = dst.Data[x*dst.Stride+y]
+		}
+	}
+}
+
+// OuterProduct computes dst = u·vᵀ for vectors u (len m) and v (len n);
+// dst must be m×n.
+func OuterProduct(dst *Matrix, u, v []float64) {
+	if dst.Rows != len(u) || dst.Cols != len(v) {
+		panic("dense: OuterProduct shape mismatch")
+	}
+	for i, uv := range u {
+		row := dst.Row(i)
+		for j, vv := range v {
+			row[j] = uv * vv
+		}
+	}
+}
+
+// MulVec computes dst = a·x for a m×k matrix and length-k vector.
+func MulVec(dst []float64, a *Matrix, x []float64) {
+	if len(dst) != a.Rows || len(x) != a.Cols {
+		panic("dense: MulVec shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		sum := 0.0
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		dst[i] = sum
+	}
+}
+
+// MulVecT computes dst = aᵀ·x for a m×k matrix and length-m vector x;
+// dst has length k.
+func MulVecT(dst []float64, a *Matrix, x []float64) {
+	if len(dst) != a.Cols || len(x) != a.Rows {
+		panic("dense: MulVecT shape mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(u, v []float64) float64 {
+	if len(u) != len(v) {
+		panic("dense: Dot length mismatch")
+	}
+	sum := 0.0
+	for i, x := range u {
+		sum += x * v[i]
+	}
+	return sum
+}

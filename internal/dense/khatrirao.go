@@ -1,0 +1,54 @@
+package dense
+
+// KhatriRao computes the column-wise Kronecker (Khatri-Rao) product
+// C = A ⊙ B where A is Ia×K and B is Ib×K; C is (Ia·Ib)×K with
+// C[i*Ib+j][k] = A[i][k]·B[j][k]. It is used by tests (to validate the
+// MTTKRP kernels against the dense definition X₍ₙ₎·(⊙ A)) and by the
+// dense reference decomposition; the production kernels never
+// materialize it.
+func KhatriRao(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("dense: KhatriRao column mismatch")
+	}
+	out := NewMatrix(a.Rows*b.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ra := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			rb := b.Row(j)
+			ro := out.Row(i*b.Rows + j)
+			for k := range ro {
+				ro[k] = ra[k] * rb[k]
+			}
+		}
+	}
+	return out
+}
+
+// KhatriRaoAll folds KhatriRao over a list of matrices left to right:
+// mats[0] ⊙ mats[1] ⊙ … ⊙ mats[len-1]. With row-major matricization
+// X₍ₙ₎ of a tensor whose fastest-varying index is the last mode, the
+// MTTKRP for mode n equals X₍ₙ₎ · KhatriRaoAll(all factors except n, in
+// mode order).
+func KhatriRaoAll(mats []*Matrix) *Matrix {
+	if len(mats) == 0 {
+		panic("dense: KhatriRaoAll of empty list")
+	}
+	out := mats[0]
+	for _, m := range mats[1:] {
+		out = KhatriRao(out, m)
+	}
+	return out
+}
+
+// HadamardAll computes the Hadamard product of a list of equal-shape
+// matrices into a new matrix.
+func HadamardAll(mats []*Matrix) *Matrix {
+	if len(mats) == 0 {
+		panic("dense: HadamardAll of empty list")
+	}
+	out := mats[0].Clone()
+	for _, m := range mats[1:] {
+		Hadamard(out, out, m)
+	}
+	return out
+}

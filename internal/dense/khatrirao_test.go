@@ -1,0 +1,66 @@
+package dense
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKhatriRaoShapeAndValues(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}, {9, 10}})
+	c := KhatriRao(a, b)
+	if c.Rows != 6 || c.Cols != 2 {
+		t.Fatalf("KhatriRao shape %d×%d", c.Rows, c.Cols)
+	}
+	// C[i*Ib+j][k] = A[i][k]·B[j][k].
+	if c.At(0, 0) != 5 || c.At(2, 1) != 20 || c.At(5, 1) != 40 {
+		t.Fatalf("KhatriRao values wrong: %v", c)
+	}
+}
+
+// Property (the identity CP-stream exploits throughout):
+// (A ⊙ B)ᵀ(A ⊙ B) = (AᵀA) ⊛ (BᵀB).
+func TestKhatriRaoGramIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomMatrix(seed, 4, 3)
+		b := randomMatrix(seed+7, 5, 3)
+		kr := KhatriRao(a, b)
+		left := NewMatrix(3, 3)
+		Gram(left, kr)
+		ga := NewMatrix(3, 3)
+		gb := NewMatrix(3, 3)
+		Gram(ga, a)
+		Gram(gb, b)
+		right := NewMatrix(3, 3)
+		Hadamard(right, ga, gb)
+		return left.Equal(right, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKhatriRaoAllAssociativity(t *testing.T) {
+	a := randomMatrix(1, 2, 2)
+	b := randomMatrix(2, 3, 2)
+	c := randomMatrix(3, 2, 2)
+	viaAll := KhatriRaoAll([]*Matrix{a, b, c})
+	manual := KhatriRao(KhatriRao(a, b), c)
+	if !viaAll.Equal(manual, 0) {
+		t.Fatal("KhatriRaoAll differs from manual fold")
+	}
+}
+
+func TestHadamardAll(t *testing.T) {
+	a := FromRows([][]float64{{2, 3}})
+	b := FromRows([][]float64{{4, 5}})
+	c := FromRows([][]float64{{6, 7}})
+	got := HadamardAll([]*Matrix{a, b, c})
+	if got.At(0, 0) != 48 || got.At(0, 1) != 105 {
+		t.Fatalf("HadamardAll = %v", got)
+	}
+	// Input must be untouched.
+	if a.At(0, 0) != 2 {
+		t.Fatal("HadamardAll mutated input")
+	}
+}

@@ -1,0 +1,187 @@
+package dense
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("NewMatrix not zeroed")
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimensions")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(0, 0) != 1 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows wrong contents: %v", m)
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("Set/At mismatch")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Identity[%d][%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRowViewSharesStorage(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
+	v := m.RowView(1, 3)
+	if v.Rows != 2 || v.Cols != 2 {
+		t.Fatalf("view shape %d×%d", v.Rows, v.Cols)
+	}
+	v.Set(0, 0, 42)
+	if m.At(1, 0) != 42 {
+		t.Fatal("RowView does not share storage")
+	}
+	if v.At(1, 1) != 6 {
+		t.Fatalf("view contents wrong: %v", v.At(1, 1))
+	}
+}
+
+func TestRowViewOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.RowView(1, 3)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T shape %d×%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomMatrix(seed, 5, 3)
+		return m.T().T().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsDiffAndEqual(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{1, 2.5}, {3, 4}})
+	if d := a.MaxAbsDiff(b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if a.Equal(b, 0.4) {
+		t.Fatal("Equal with tol 0.4 should fail")
+	}
+	if !a.Equal(b, 0.6) {
+		t.Fatal("Equal with tol 0.6 should pass")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if m.HasNaN() {
+		t.Fatal("zero matrix reported NaN")
+	}
+	m.Set(1, 1, math.NaN())
+	if !m.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	m.Set(1, 1, math.Inf(1))
+	if !m.HasNaN() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestZeroAndFill(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Fill(7)
+	for _, v := range m.Data {
+		if v != 7 {
+			t.Fatal("Fill failed")
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+// randomMatrix builds a deterministic pseudo-random matrix for tests.
+func randomMatrix(seed int64, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	state := uint64(seed)*2654435761 + 12345
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(int64(state%2000)-1000) / 250.0
+	}
+	for i := range m.Data {
+		m.Data[i] = next()
+	}
+	return m
+}

@@ -1,0 +1,168 @@
+package mttkrp
+
+import (
+	"sort"
+
+	"spstream/internal/dense"
+	"spstream/internal/sptensor"
+)
+
+// Remapped is a time slice whose coordinates have been renumbered into
+// the dense local index space of its nonzero rows: mode m's coordinates
+// lie in [0, len(NZ[m])) and NZ[m][local] recovers the global row. This
+// is the pre-processing step of spCP-stream (paper §V-D): it is built
+// once per slice and amortized over all inner iterations, and it is what
+// lets spMTTKRP access only the gathered A_nz matrices — a footprint of
+// |nz(n)|·K instead of Iₙ·K rows (paper §VI-E1).
+type Remapped struct {
+	// X holds the renumbered slice; X.Dims[m] == len(NZ[m]).
+	X *sptensor.Tensor
+	// NZ[m] is the sorted list of global row indices present in mode m
+	// (the nz(n) sets).
+	NZ [][]int32
+}
+
+// Remap builds the local-index view of a slice. Cost is O(nnz·N) plus a
+// sort of each nz set.
+func Remap(x *sptensor.Tensor) *Remapped {
+	n := x.NModes()
+	rm := &Remapped{NZ: make([][]int32, n)}
+	localDims := make([]int, n)
+	lookups := make([]map[int32]int32, n)
+	for m := 0; m < n; m++ {
+		nz := x.NonzeroSlices(m)
+		rm.NZ[m] = nz
+		localDims[m] = len(nz)
+		lut := make(map[int32]int32, len(nz))
+		for local, global := range nz {
+			lut[global] = int32(local)
+		}
+		lookups[m] = lut
+	}
+	local := sptensor.New(localDims...)
+	local.Reserve(x.NNZ())
+	coord := make([]int32, n)
+	for e := 0; e < x.NNZ(); e++ {
+		for m := 0; m < n; m++ {
+			coord[m] = lookups[m][x.Inds[m][e]]
+		}
+		local.Append(coord, x.Vals[e])
+	}
+	rm.X = local
+	return rm
+}
+
+// GatherFactors extracts the A_nz matrices for every mode: out[m] is the
+// len(NZ[m])×K gather of full[m]'s nz rows.
+func (rm *Remapped) GatherFactors(full []*dense.Matrix) []*dense.Matrix {
+	out := make([]*dense.Matrix, len(full))
+	for m, f := range full {
+		idx := make([]int, len(rm.NZ[m]))
+		for i, g := range rm.NZ[m] {
+			idx[i] = int(g)
+		}
+		out[m] = dense.GatherRows(f, idx)
+	}
+	return out
+}
+
+// GatherFactorsInto refreshes previously allocated gathers in place.
+func (rm *Remapped) GatherFactorsInto(dst, full []*dense.Matrix) {
+	for m, f := range full {
+		gatherInt32(dst[m], f, rm.NZ[m])
+	}
+}
+
+func gatherInt32(dst, src *dense.Matrix, idx []int32) {
+	if dst.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("mttkrp: gather shape mismatch")
+	}
+	for r, i := range idx {
+		copy(dst.Row(r), src.Row(int(i)))
+	}
+}
+
+// ScatterMode writes the len(NZ[mode])×K matrix src back into the nz
+// rows of the full factor matrix (the ⊕ recombination).
+func (rm *Remapped) ScatterMode(full, src *dense.Matrix, mode int) {
+	idx := rm.NZ[mode]
+	if src.Rows != len(idx) {
+		panic("mttkrp: scatter shape mismatch")
+	}
+	for r, i := range idx {
+		copy(full.Row(int(i)), src.Row(r))
+	}
+}
+
+// ZeroRows returns the complement z(n) = {0..dim-1} \ NZ[mode] for the
+// given full mode length. Used by tests and by the incremental C_z
+// maintenance.
+func (rm *Remapped) ZeroRows(mode, dim int) []int32 {
+	nz := rm.NZ[mode]
+	out := make([]int32, 0, dim-len(nz))
+	p := 0
+	for i := int32(0); i < int32(dim); i++ {
+		if p < len(nz) && nz[p] == i {
+			p++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// RowSparse computes Ψ_nz = spMTTKRP(Xt, {A_nz}) for one mode: a plain
+// MTTKRP over the remapped slice and gathered factors. The output has
+// len(NZ[mode]) rows. Uses the hybrid-lock strategy internally — after
+// remapping, modes are short by construction, so this nearly always
+// takes the thread-local path.
+func (c *Computer) RowSparse(out *dense.Matrix, rm *Remapped, gathered []*dense.Matrix, mode int) {
+	c.Hybrid(out, rm.X, gathered, mode)
+}
+
+// SetDiff returns the elements of a not present in b; both inputs must
+// be sorted ascending. Used for the nz(n)ₜ₋₁ \ nz(n) bookkeeping of
+// Algorithm 4 (lines 9–10).
+func SetDiff(a, b []int32) []int32 {
+	out := make([]int32, 0)
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// SetUnion merges two sorted int32 sets.
+func SetUnion(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// SortedInt32 reports whether s is sorted ascending (test helper).
+func SortedInt32(s []int32) bool {
+	return sort.SliceIsSorted(s, func(a, b int) bool { return s[a] < s[b] })
+}

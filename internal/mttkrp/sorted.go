@@ -1,0 +1,87 @@
+package mttkrp
+
+import (
+	"spstream/internal/dense"
+	"spstream/internal/parallel"
+	"spstream/internal/sptensor"
+)
+
+// Sorted is a mode-sorted view of a slice with CSR-style row segments:
+// nonzeros are grouped by their target-mode index, so an MTTKRP over it
+// needs neither locks nor thread-local copies — each output row is
+// owned by exactly one segment, and segments are distributed over
+// workers. This is the storage-format optimization direction of the
+// paper's related work ([14]–[16], HiCOO/CSF): pay a per-slice sort,
+// amortized over the inner iterations, for contention-free updates.
+type Sorted struct {
+	// Mode is the target mode the view is sorted by.
+	Mode int
+	// X is the sorted copy of the slice.
+	X *sptensor.Tensor
+	// Rows lists the distinct target-mode indices in ascending order.
+	Rows []int32
+	// RowPtr[i] is the first nonzero of segment i; segments are
+	// [RowPtr[i], RowPtr[i+1]).
+	RowPtr []int32
+}
+
+// SortForMode builds the mode-sorted view. Cost: one stable sort of the
+// slice (O(nnz log nnz)).
+func SortForMode(x *sptensor.Tensor, mode int) *Sorted {
+	sorted := x.Clone()
+	sorted.SortByMode(mode)
+	s := &Sorted{Mode: mode, X: sorted}
+	col := sorted.Inds[mode]
+	for e := 0; e < len(col); e++ {
+		if e == 0 || col[e] != col[e-1] {
+			s.Rows = append(s.Rows, col[e])
+			s.RowPtr = append(s.RowPtr, int32(e))
+		}
+	}
+	s.RowPtr = append(s.RowPtr, int32(len(col)))
+	return s
+}
+
+// NNZ returns the nonzero count of the view.
+func (s *Sorted) NNZ() int { return s.X.NNZ() }
+
+// Segments returns the number of distinct output rows.
+func (s *Sorted) Segments() int { return len(s.Rows) }
+
+// SortedMTTKRP computes out = MTTKRP(X, factors, s.Mode) over the
+// sorted view: workers are assigned whole row segments, accumulate each
+// output row in a register buffer, and write it exactly once — no
+// synchronization on the output at all.
+func (c *Computer) SortedMTTKRP(out *dense.Matrix, s *Sorted, factors []*dense.Matrix) {
+	k := checkArgs(out, s.X, factors, s.Mode)
+	out.Zero()
+	nSeg := s.Segments()
+	if nSeg == 0 {
+		return
+	}
+	parallel.For(nSeg, c.Workers, func(_ int, r parallel.Range) {
+		var tmp, acc [512]float64
+		buf := tmp[:]
+		accBuf := acc[:]
+		if k > len(buf) {
+			buf = make([]float64, k)
+			accBuf = make([]float64, k)
+		} else {
+			buf = buf[:k]
+			accBuf = accBuf[:k]
+		}
+		for seg := r.Lo; seg < r.Hi; seg++ {
+			for j := range accBuf {
+				accBuf[j] = 0
+			}
+			lo, hi := s.RowPtr[seg], s.RowPtr[seg+1]
+			for e := lo; e < hi; e++ {
+				rowProduct(buf, s.X, factors, s.Mode, int(e), s.X.Vals[e])
+				for j, v := range buf {
+					accBuf[j] += v
+				}
+			}
+			copy(out.Row(int(s.Rows[seg])), accBuf)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package mttkrp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spstream/internal/dense"
+	"spstream/internal/sptensor"
+)
+
+func TestSortForModeStructure(t *testing.T) {
+	x := sptensor.New(6, 4)
+	x.Append([]int32{3, 0}, 1)
+	x.Append([]int32{1, 1}, 2)
+	x.Append([]int32{3, 2}, 3)
+	x.Append([]int32{1, 3}, 4)
+	s := SortForMode(x, 0)
+	if s.Segments() != 2 {
+		t.Fatalf("segments = %d", s.Segments())
+	}
+	if s.Rows[0] != 1 || s.Rows[1] != 3 {
+		t.Fatalf("rows = %v", s.Rows)
+	}
+	if s.NNZ() != 4 {
+		t.Fatal("nnz changed")
+	}
+	// Segment boundaries cover all nonzeros contiguously.
+	if s.RowPtr[0] != 0 || s.RowPtr[2] != 4 {
+		t.Fatalf("rowptr = %v", s.RowPtr)
+	}
+	// Original tensor untouched.
+	if x.Inds[0][0] != 3 {
+		t.Fatal("SortForMode mutated its input")
+	}
+}
+
+func TestSortedMTTKRPMatchesSequential(t *testing.T) {
+	f := func(seed uint64) bool {
+		dims := []int{25, 30, 12}
+		x := randomSlice(seed, dims, 250)
+		factors := randomFactors(seed+3, dims, 4)
+		for mode := range dims {
+			want := dense.NewMatrix(dims[mode], 4)
+			Sequential(want, x, factors, mode)
+			s := SortForMode(x, mode)
+			for _, workers := range []int{1, 4} {
+				c := NewComputer(workers)
+				got := dense.NewMatrix(dims[mode], 4)
+				c.SortedMTTKRP(got, s, factors)
+				if got.MaxAbsDiff(want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedMTTKRPEmpty(t *testing.T) {
+	dims := []int{5, 5}
+	x := sptensor.New(dims...)
+	s := SortForMode(x, 0)
+	factors := randomFactors(1, dims, 3)
+	c := NewComputer(2)
+	out := dense.NewMatrix(5, 3)
+	out.Fill(1)
+	c.SortedMTTKRP(out, s, factors)
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatal("empty sorted MTTKRP must zero the output")
+		}
+	}
+}
+
+func TestSortedMTTKRPDeterministic(t *testing.T) {
+	dims := []int{40, 40, 40}
+	x := randomSlice(5, dims, 2000)
+	factors := randomFactors(6, dims, 4)
+	s := SortForMode(x, 1)
+	c := NewComputer(4)
+	first := dense.NewMatrix(40, 4)
+	c.SortedMTTKRP(first, s, factors)
+	for trial := 0; trial < 3; trial++ {
+		again := dense.NewMatrix(40, 4)
+		c.SortedMTTKRP(again, s, factors)
+		if first.MaxAbsDiff(again) != 0 {
+			t.Fatal("sorted MTTKRP not deterministic")
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCoversRange(t *testing.T) {
+	f := func(n uint16, w uint8) bool {
+		nn := int(n%1000) + 1
+		ww := int(w%16) + 1
+		ranges := Partition(nn, ww)
+		covered := 0
+		prev := 0
+		for _, r := range ranges {
+			if r.Lo != prev || r.Hi <= r.Lo {
+				return false
+			}
+			covered += r.Hi - r.Lo
+			prev = r.Hi
+		}
+		return covered == nn && prev == nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	ranges := Partition(10, 3)
+	if len(ranges) != 3 {
+		t.Fatalf("got %d ranges", len(ranges))
+	}
+	sizes := []int{ranges[0].Hi - ranges[0].Lo, ranges[1].Hi - ranges[1].Lo, ranges[2].Hi - ranges[2].Lo}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("unbalanced partition: %v", sizes)
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	if Partition(0, 4) != nil {
+		t.Fatal("Partition(0) should be nil")
+	}
+	if got := Partition(2, 8); len(got) != 2 {
+		t.Fatalf("Partition(2,8) = %v", got)
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		n := 1000
+		visits := make([]int32, n)
+		For(n, workers, func(_ int, r Range) {
+			for i := r.Lo; i < r.Hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsDistinct(t *testing.T) {
+	n := 100
+	seen := make(map[int]bool)
+	ids := make(chan int, 16)
+	For(n, 4, func(w int, r Range) {
+		ids <- w
+	})
+	close(ids)
+	for w := range ids {
+		if seen[w] {
+			t.Fatalf("worker id %d used twice", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestForChunkedCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		n := 2357
+		visits := make([]int32, n)
+		ForChunked(n, workers, 64, func(_ int, r Range) {
+			for i := r.Lo; i < r.Hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestReduceFloat64Deterministic(t *testing.T) {
+	n := 10000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i%7) * 0.1
+	}
+	body := func(_ int, r Range) float64 {
+		s := 0.0
+		for i := r.Lo; i < r.Hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	first := ReduceFloat64(n, 4, body)
+	for trial := 0; trial < 10; trial++ {
+		if got := ReduceFloat64(n, 4, body); got != first {
+			t.Fatal("ReduceFloat64 not deterministic for fixed worker count")
+		}
+	}
+	serial := ReduceFloat64(n, 1, body)
+	if diff := first - serial; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("parallel %v far from serial %v", first, serial)
+	}
+}
+
+func TestReduceVec(t *testing.T) {
+	n := 100
+	got := ReduceVec(n, 4, 2, func(_ int, r Range, acc []float64) {
+		for i := r.Lo; i < r.Hi; i++ {
+			acc[0] += 1
+			acc[1] += float64(i)
+		}
+	})
+	if got[0] != 100 {
+		t.Fatalf("count = %v", got[0])
+	}
+	if got[1] != 4950 {
+		t.Fatalf("sum = %v", got[1])
+	}
+}
+
+func TestReduceVecEmpty(t *testing.T) {
+	got := ReduceVec(0, 4, 3, func(_ int, _ Range, _ []float64) {})
+	if len(got) != 3 || got[0] != 0 {
+		t.Fatalf("empty ReduceVec = %v", got)
+	}
+}
+
+func TestMutexPoolStriping(t *testing.T) {
+	p := NewMutexPool(10)
+	if p.Len() != 16 {
+		t.Fatalf("pool size %d, want 16 (next pow2)", p.Len())
+	}
+	// Concurrent increments guarded by the pool must not race.
+	counters := make([]int, 64)
+	For(64*100, 8, func(_ int, r Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			row := i % 64
+			p.Lock(row)
+			counters[row]++
+			p.Unlock(row)
+		}
+	})
+	for row, c := range counters {
+		if c != 100 {
+			t.Fatalf("row %d count %d", row, c)
+		}
+	}
+}
+
+func TestLocalBuffers(t *testing.T) {
+	lb := NewLocalBuffers(3, 4)
+	b0 := lb.Get(0, 4)
+	for i := range b0 {
+		b0[i] = float64(i)
+	}
+	// Get zeroes on reuse.
+	b0again := lb.Get(0, 4)
+	for _, v := range b0again {
+		if v != 0 {
+			t.Fatal("Get did not zero")
+		}
+	}
+	// Grow beyond initial worker count.
+	b5 := lb.Get(5, 2)
+	if len(b5) != 2 {
+		t.Fatal("lazy worker growth failed")
+	}
+	if lb.Workers() < 6 {
+		t.Fatal("worker count did not grow")
+	}
+	// Reduce sums in worker order.
+	lb2 := NewLocalBuffers(2, 3)
+	a := lb2.Get(0, 3)
+	b := lb2.Get(1, 3)
+	a[0], a[1], a[2] = 1, 2, 3
+	b[0], b[1], b[2] = 10, 20, 30
+	dst := make([]float64, 3)
+	lb2.Reduce(dst, 2, 3)
+	if dst[0] != 11 || dst[2] != 33 {
+		t.Fatalf("Reduce = %v", dst)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers must be ≥ 1")
+	}
+	// Zero/negative requests fall back to the default in For.
+	var count int32
+	For(10, -3, func(_ int, r Range) { atomic.AddInt32(&count, int32(r.Hi-r.Lo)) })
+	if count != 10 {
+		t.Fatal("negative worker request mishandled")
+	}
+}
+
+func TestMutexPoolMinimumSize(t *testing.T) {
+	p := NewMutexPool(0)
+	if p.Len() != 1 {
+		t.Fatalf("pool of 0 should clamp to 1, got %d", p.Len())
+	}
+	p.Lock(5)
+	p.Unlock(5)
+}
+
+func TestLocalBuffersReduceEdgeCases(t *testing.T) {
+	lb := NewLocalBuffers(2, 4)
+	a := lb.Get(0, 4)
+	a[0] = 1
+	// Worker 1's buffer was sized at 4; ask Reduce for more workers than
+	// exist and a size larger than some buffers — out-of-range workers
+	// and short buffers are skipped.
+	short := NewLocalBuffers(2, 0)
+	short.Get(0, 2)[1] = 5
+	dst := make([]float64, 4)
+	short.Reduce(dst, 5, 4) // worker 1 has size 0 < 4 → skipped
+	if dst[1] != 0 {
+		t.Fatalf("short buffers must be skipped, got %v", dst)
+	}
+	dst2 := make([]float64, 4)
+	lb.Reduce(dst2, 10, 4)
+	if dst2[0] != 1 {
+		t.Fatalf("reduce = %v", dst2)
+	}
+}

@@ -1,0 +1,271 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+	"spstream/internal/trace"
+)
+
+var paperThreads = []int{1, 7, 14, 28, 56}
+
+// presetProfile generates a mid-stream slice profile for a dataset
+// analogue (cached across tests).
+var profileCache = map[string]SliceProfile{}
+
+func presetProfile(t *testing.T, name string) SliceProfile {
+	t.Helper()
+	if p, ok := profileCache[name]; ok {
+		return p
+	}
+	// Paper-scale (scale 1) single mid-stream slice: the model is
+	// calibrated against the paper-sized workload structure.
+	cfg, err := synth.Preset(name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := synth.GenerateSlice(cfg, cfg.T/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Profile(x)
+	profileCache[name] = p
+	return p
+}
+
+func TestProfileMeasurement(t *testing.T) {
+	x := sptensor.New(10, 20)
+	x.Append([]int32{1, 2}, 1)
+	x.Append([]int32{1, 3}, 1)
+	x.Append([]int32{4, 2}, 1)
+	p := Profile(x)
+	if p.NNZ != 3 || len(p.Modes) != 2 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.Modes[0].NZRows != 2 || p.Modes[0].Dim != 10 {
+		t.Fatalf("mode 0 = %+v", p.Modes[0])
+	}
+	if p.Modes[0].TopRowFrac != 2.0/3 {
+		t.Fatalf("top row frac = %v", p.Modes[0].TopRowFrac)
+	}
+	if p.TotalDim() != 30 || p.TotalNZRows() != 4 {
+		t.Fatalf("totals wrong: dim=%d nz=%d", p.TotalDim(), p.TotalNZRows())
+	}
+}
+
+// Fig. 2 shape: BF-ADMM is faster than baseline at every thread count,
+// the gap widens (or holds) with threads, and BF itself scales.
+func TestADMMModelShape(t *testing.T) {
+	mo := PaperModel()
+	for _, k := range []int{16, 32, 128} {
+		prevSpeedup := 0.0
+		for i, p := range paperThreads {
+			base := mo.ADMMIterTime(ADMMBaseline, 14000, k, p)
+			bf := mo.ADMMIterTime(ADMMBlockedFused, 14000, k, p)
+			if bf >= base {
+				t.Fatalf("rank %d p=%d: BF (%g) not faster than baseline (%g)", k, p, bf, base)
+			}
+			sp := base / bf
+			if i == 0 {
+				// Single-thread speedup comes from fusion alone: modest.
+				if sp < 1.3 || sp > 10 {
+					t.Fatalf("rank %d: 1-thread ADMM speedup %.1f implausible", k, sp)
+				}
+			}
+			_ = prevSpeedup
+			prevSpeedup = sp
+		}
+		// At full machine the speedup is substantial.
+		sp56 := mo.ADMMIterTime(ADMMBaseline, 14000, k, 56) / mo.ADMMIterTime(ADMMBlockedFused, 14000, k, 56)
+		if sp56 < 2 || sp56 > 30 {
+			t.Fatalf("rank %d: 56-thread ADMM speedup %.1f outside plausible range", k, sp56)
+		}
+	}
+}
+
+// ADMM speedup at 56 threads decreases as rank grows (Fig. 2/3: the
+// kernel becomes compute-bound and fusion matters less).
+func TestADMMSpeedupFallsWithRank(t *testing.T) {
+	mo := PaperModel()
+	sp := func(k int) float64 {
+		return mo.ADMMIterTime(ADMMBaseline, 14000, k, 56) / mo.ADMMIterTime(ADMMBlockedFused, 14000, k, 56)
+	}
+	if sp(16) < sp(128) {
+		t.Fatalf("ADMM speedup should fall with rank: rank16 %.1f vs rank128 %.1f", sp(16), sp(128))
+	}
+}
+
+// Fig. 4 shape: the baseline (locked) MTTKRP, including the single-row
+// streaming-mode update, degrades beyond a thread count while HL keeps
+// improving; HL beats baseline everywhere and the gap grows.
+func TestMTTKRPContentionShape(t *testing.T) {
+	mo := PaperModel()
+	s := presetProfile(t, "nips")
+	k := 16
+	lock := func(p int) float64 {
+		return mo.MTTKRPTime(MTTKRPLock, s, k, p) + mo.TimeModeUpdateTime(s, k, p, true)
+	}
+	hl := func(p int) float64 {
+		return mo.MTTKRPTime(MTTKRPHybrid, s, k, p) + mo.TimeModeUpdateTime(s, k, p, false)
+	}
+	// HL scales: strictly better at 56 than at 1, by a lot.
+	if hl(56) >= hl(1)/5 {
+		t.Fatalf("HL does not scale: %g at 1 vs %g at 56", hl(1), hl(56))
+	}
+	// Baseline degrades: worse at 56 threads than at its best point.
+	best := lock(1)
+	for _, p := range paperThreads {
+		if v := lock(p); v < best {
+			best = v
+		}
+	}
+	if lock(56) <= best {
+		t.Fatal("baseline should degrade past its sweet spot")
+	}
+	// Speedup grows monotonically with threads.
+	prev := 0.0
+	for _, p := range paperThreads {
+		sp := lock(p) / hl(p)
+		if sp < prev*0.9 {
+			t.Fatalf("HL speedup fell sharply at p=%d: %.1f after %.1f", p, sp, prev)
+		}
+		prev = sp
+	}
+	if final := lock(56) / hl(56); final < 5 || final > 100 {
+		t.Fatalf("56-thread MTTKRP speedup %.1f outside plausible range", final)
+	}
+}
+
+// Fig. 3: Uber's small, cache-resident factors yield the smallest
+// MTTKRP speedup of the three datasets.
+func TestUberSmallestMTTKRPSpeedup(t *testing.T) {
+	mo := PaperModel()
+	k := 16
+	sp := func(name string) float64 {
+		s := presetProfile(t, name)
+		lock := mo.MTTKRPTime(MTTKRPLock, s, k, 56) + mo.TimeModeUpdateTime(s, k, 56, true)
+		hl := mo.MTTKRPTime(MTTKRPHybrid, s, k, 56) + mo.TimeModeUpdateTime(s, k, 56, false)
+		return lock / hl
+	}
+	uber, nips, patents := sp("uber"), sp("nips"), sp("patents")
+	if uber >= nips || uber >= patents {
+		t.Fatalf("Uber MTTKRP speedup (%.1f) should be smallest (nips %.1f, patents %.1f)", uber, nips, patents)
+	}
+}
+
+// Fig. 6/7 shape: spCP < optimized < baseline per-iteration time at
+// every thread count, on every dataset.
+func TestAlgorithmOrdering(t *testing.T) {
+	mo := PaperModel()
+	for _, name := range []string{"patents", "nips", "uber", "flickr"} {
+		s := presetProfile(t, name)
+		for _, p := range paperThreads {
+			b := mo.IterTime(AlgBaseline, s, 16, p, 6)
+			o := mo.IterTime(AlgOptimized, s, 16, p, 6)
+			n := mo.IterTime(AlgSpCP, s, 16, p, 6)
+			// On Uber every row is a nz row, so spCP degenerates to
+			// optimized plus remap overhead; allow a 10% margin there.
+			if !(n < o*1.1 && o < b) {
+				t.Fatalf("%s p=%d: ordering violated: spcp=%g opt=%g base=%g", name, p, n, o, b)
+			}
+		}
+	}
+}
+
+// The spCP advantage over optimized is largest on Flickr (the ~99%
+// zero-row image mode) — §VI-E2.
+func TestFlickrLargestSpCPGain(t *testing.T) {
+	mo := PaperModel()
+	gain := func(name string) float64 {
+		s := presetProfile(t, name)
+		return mo.IterTime(AlgOptimized, s, 16, 56, 6) / mo.IterTime(AlgSpCP, s, 16, 56, 6)
+	}
+	flickr := gain("flickr")
+	for _, other := range []string{"patents", "nips", "uber"} {
+		if g := gain(other); g >= flickr {
+			t.Fatalf("spCP gain on %s (%.1f) exceeds Flickr (%.1f)", other, g, flickr)
+		}
+	}
+}
+
+// The spCP-vs-baseline gap narrows at higher rank (Fig. 6: Gram-form
+// computation scales with K², the explicit with Iₙ×K).
+func TestSpCPGainShrinksWithRank(t *testing.T) {
+	mo := PaperModel()
+	s := presetProfile(t, "nips")
+	gain := func(k int) float64 {
+		return mo.IterTime(AlgBaseline, s, k, 56, 6) / mo.IterTime(AlgSpCP, s, k, 56, 6)
+	}
+	if gain(16) <= gain(128) {
+		t.Fatalf("spCP gain should shrink with rank: rank16 %.1f vs rank128 %.1f", gain(16), gain(128))
+	}
+}
+
+// Fig. 8: for Flickr/Optimized the historical term dominates the
+// per-iteration time; spCP eliminates it.
+func TestFlickrBreakdownHistoricalDominates(t *testing.T) {
+	mo := PaperModel()
+	s := presetProfile(t, "flickr")
+	opt := mo.IterBreakdown(AlgOptimized, s, 16, 56, 6)
+	if opt[trace.Historical] <= opt[trace.Gram] {
+		t.Fatal("optimized: Historical should exceed Gram")
+	}
+	if opt[trace.Historical] <= opt[trace.MTTKRP] {
+		t.Fatal("optimized: Historical should exceed HL MTTKRP on Flickr")
+	}
+	sp := mo.IterBreakdown(AlgSpCP, s, 16, 56, 6)
+	if sp[trace.Historical] >= opt[trace.Historical]/5 {
+		t.Fatalf("spCP historical (%g) not ≪ optimized historical (%g)", sp[trace.Historical], opt[trace.Historical])
+	}
+	base := mo.IterBreakdown(AlgBaseline, s, 16, 56, 6)
+	if base[trace.MTTKRP] <= base[trace.Historical] {
+		t.Fatal("baseline: MTTKRP should dominate")
+	}
+}
+
+// Constrained model: BF+HL optimized beats baseline, and the gain
+// shrinks with rank (Fig. 5).
+func TestConstrainedModelShape(t *testing.T) {
+	mo := PaperModel()
+	s := presetProfile(t, "nips")
+	sp := func(k int) float64 {
+		return mo.ConstrainedIterTime(AlgBaseline, s, k, 56, 6, 10) /
+			mo.ConstrainedIterTime(AlgOptimized, s, k, 56, 6, 10)
+	}
+	if sp(16) < 3 {
+		t.Fatalf("constrained speedup %.1f too small at rank 16", sp(16))
+	}
+	// The gain must not grow materially with rank (paper Fig. 5 shows it
+	// falling; the model keeps it at worst flat).
+	if sp(128) > sp(16)*1.15 {
+		t.Fatalf("constrained speedup grew with rank: %.1f vs %.1f", sp(16), sp(128))
+	}
+}
+
+// Empty slices cost nothing in the kernel model.
+func TestEmptySliceModel(t *testing.T) {
+	mo := PaperModel()
+	s := SliceProfile{NNZ: 0, Modes: []ModeProfile{{Dim: 10}, {Dim: 10}}}
+	if v := mo.MTTKRPTime(MTTKRPLock, s, 16, 8); v != 0 {
+		t.Fatalf("empty-slice MTTKRP time %g", v)
+	}
+}
+
+// Thread counts are clamped to the machine.
+func TestThreadClamping(t *testing.T) {
+	mo := PaperModel()
+	s := presetProfile(t, "uber")
+	if mo.IterTime(AlgOptimized, s, 16, 56, 6) != mo.IterTime(AlgOptimized, s, 16, 500, 6) {
+		t.Fatal("p beyond machine cores should clamp")
+	}
+	if mo.IterTime(AlgOptimized, s, 16, 0, 6) != mo.IterTime(AlgOptimized, s, 16, 1, 6) {
+		t.Fatal("p=0 should clamp to 1")
+	}
+}
+
+func TestAlgKindString(t *testing.T) {
+	if AlgBaseline.String() != "baseline" || AlgOptimized.String() != "optimized" || AlgSpCP.String() != "spcp-stream" {
+		t.Fatal("AlgKind names wrong")
+	}
+}

@@ -1,0 +1,124 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Table I totals: 19IK + 2IK² flops, (16IK + K²) reads + 6IK writes.
+func TestBaselineTotalsMatchTableI(t *testing.T) {
+	f := func(iRaw, kRaw uint16) bool {
+		i := int64(iRaw%10000) + 1
+		k := int64(kRaw%256) + 1
+		tot := ADMMBaselineTotal(i, k)
+		return tot.Flops == 19*i*k+2*i*k*k &&
+			tot.Read == 16*i*k+k*k &&
+			tot.Write == 6*i*k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedTotalsMatchPaper(t *testing.T) {
+	i, k := int64(1000), int64(16)
+	tot := ADMMFusedTotal(i, k)
+	if tot.Flops != 18*i*k+2*i*k*k {
+		t.Fatalf("fused flops = %d", tot.Flops)
+	}
+	if tot.Words() != 15*i*k+k*k {
+		t.Fatalf("fused words = %d", tot.Words())
+	}
+}
+
+// §IV-A: "more than a 30% reduction in data access".
+func TestTrafficReductionOver30Percent(t *testing.T) {
+	for _, k := range []int64{16, 32, 64, 128} {
+		r := TrafficReduction(100000, k)
+		if r < 0.30 || r > 0.35 {
+			t.Fatalf("rank %d: traffic reduction %.3f outside [0.30, 0.35]", k, r)
+		}
+	}
+}
+
+// The paper observes every baseline ADMM op has arithmetic intensity
+// < 0.125 flops/byte at rank 16 except the K²-heavy solve.
+func TestArithmeticIntensityMemoryBound(t *testing.T) {
+	costs := ADMMBaselineCosts(100000, 16)
+	for _, c := range costs {
+		if c.Name == "solve" || c.Name == "error" {
+			continue // solve includes 2IK² flops; error is 10 flops/4 words
+		}
+		if ai := c.Intensity(); ai >= 0.125 {
+			t.Fatalf("op %s: intensity %.4f not memory-bound", c.Name, ai)
+		}
+	}
+}
+
+func TestOpCostHelpers(t *testing.T) {
+	c := OpCost{Name: "x", Flops: 80, Read: 8, Write: 2}
+	if c.Words() != 10 {
+		t.Fatal("Words wrong")
+	}
+	if c.Intensity() != 1.0 {
+		t.Fatalf("Intensity = %v", c.Intensity())
+	}
+	if (OpCost{}).Intensity() != 0 {
+		t.Fatal("zero-cost intensity should be 0")
+	}
+	if Total(ADMMBaselineCosts(10, 2)).Flops != ADMMBaselineTotal(10, 2).Flops {
+		t.Fatal("Total/ADMMBaselineTotal disagree")
+	}
+	if c.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestMachineBandwidthScaling(t *testing.T) {
+	m := PaperTestbed()
+	if m.Cores() != 56 {
+		t.Fatalf("cores = %d", m.Cores())
+	}
+	// Bandwidth must be non-decreasing in p.
+	prev := 0.0
+	for p := 1; p <= 56; p++ {
+		bw := m.Bandwidth(p)
+		if bw < prev {
+			t.Fatalf("bandwidth decreased at p=%d", p)
+		}
+		prev = bw
+	}
+	// One core cannot saturate a socket.
+	if m.Bandwidth(1) >= m.BandwidthPerSocket {
+		t.Fatal("single core saturates socket bandwidth")
+	}
+	// All sockets engaged at 56 threads.
+	if m.Bandwidth(56) != 4*m.BandwidthPerSocket {
+		t.Fatalf("full-machine bandwidth = %g", m.Bandwidth(56))
+	}
+}
+
+func TestMachineTimeRoofline(t *testing.T) {
+	m := PaperTestbed()
+	// Memory-bound kernel: time set by bytes/bandwidth.
+	bytes := 1e9
+	want := bytes / m.Bandwidth(56)
+	if got := m.Time(1, bytes, 56); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("memory-bound time %g want %g", got, want)
+	}
+	// Compute-bound kernel: time set by flops/peak.
+	flops := 1e13
+	want = flops / (56 * m.PeakFlopsPerCore)
+	if got := m.Time(flops, 8, 56); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("compute-bound time %g want %g", got, want)
+	}
+	// Time decreases (weakly) with threads.
+	if m.Time(1e10, 1e9, 1) < m.Time(1e10, 1e9, 56) {
+		t.Fatal("more threads made the kernel slower")
+	}
+	// Thread counts beyond the machine are clamped.
+	if m.Time(1e10, 1e9, 1000) != m.Time(1e10, 1e9, 56) {
+		t.Fatal("thread clamp missing")
+	}
+}

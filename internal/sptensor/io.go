@@ -1,0 +1,252 @@
+package sptensor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadTNS parses the FROSTT ".tns" text format: one nonzero per line as
+// whitespace-separated 1-based coordinates followed by the value. Blank
+// lines and lines starting with '#' are skipped. Mode lengths are
+// inferred as the maximum coordinate seen per mode unless dims is
+// non-nil, in which case coordinates are validated against it.
+func ReadTNS(r io.Reader, dims []int) (*Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var t *Tensor
+	var maxIdx []int32
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("sptensor: line %d: need at least one coordinate and a value", lineNo)
+		}
+		nModes := len(fields) - 1
+		if t == nil {
+			if dims != nil {
+				if len(dims) != nModes {
+					return nil, fmt.Errorf("sptensor: line %d: %d coordinates but %d dims given", lineNo, nModes, len(dims))
+				}
+				t = New(dims...)
+			} else {
+				t = New(make([]int, nModes)...)
+			}
+			maxIdx = make([]int32, nModes)
+		} else if nModes != t.NModes() {
+			return nil, fmt.Errorf("sptensor: line %d: %d coordinates, expected %d", lineNo, nModes, t.NModes())
+		}
+		coord := make([]int32, nModes)
+		for m := 0; m < nModes; m++ {
+			v, err := strconv.ParseInt(fields[m], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("sptensor: line %d: bad coordinate %q: %v", lineNo, fields[m], err)
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("sptensor: line %d: coordinate %d is not 1-based", lineNo, v)
+			}
+			coord[m] = int32(v - 1)
+			if dims != nil && int(coord[m]) >= dims[m] {
+				return nil, fmt.Errorf("sptensor: line %d: coordinate %d exceeds dim %d of mode %d", lineNo, v, dims[m], m)
+			}
+			if coord[m] > maxIdx[m] {
+				maxIdx[m] = coord[m]
+			}
+		}
+		val, err := strconv.ParseFloat(fields[nModes], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sptensor: line %d: bad value %q: %v", lineNo, fields[nModes], err)
+		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return nil, fmt.Errorf("sptensor: line %d: non-finite value %v", lineNo, val)
+		}
+		t.Append(coord, val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sptensor: reading tns: %w", err)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("sptensor: empty tns input")
+	}
+	if dims == nil {
+		for m := range t.Dims {
+			t.Dims[m] = int(maxIdx[m]) + 1
+		}
+	}
+	return t, nil
+}
+
+// WriteTNS writes the tensor in FROSTT text format (1-based coordinates).
+func WriteTNS(w io.Writer, t *Tensor) error {
+	bw := bufio.NewWriter(w)
+	for e := 0; e < t.NNZ(); e++ {
+		for m := range t.Inds {
+			if _, err := fmt.Fprintf(bw, "%d ", t.Inds[m][e]+1); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%g\n", t.Vals[e]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTNSFile reads a .tns file from disk.
+func ReadTNSFile(path string) (*Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTNS(f, nil)
+}
+
+// WriteTNSFile writes a .tns file to disk.
+func WriteTNSFile(path string, t *Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTNS(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// binMagic identifies the binary tensor container.
+var binMagic = [4]byte{'S', 'P', 'T', '1'}
+
+// WriteBinary serializes the tensor in a compact little-endian binary
+// format (magic, #modes, dims, nnz, index columns, values). The binary
+// path exists because text parsing dominates load time for multi-million
+// nonzero tensors.
+func WriteBinary(w io.Writer, t *Tensor) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	header := make([]uint64, 0, 2+len(t.Dims))
+	header = append(header, uint64(t.NModes()))
+	for _, d := range t.Dims {
+		header = append(header, uint64(d))
+	}
+	header = append(header, uint64(t.NNZ()))
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	for m := range t.Inds {
+		if err := binary.Write(bw, binary.LittleEndian, t.Inds[m]); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Vals); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a tensor written by WriteBinary.
+func ReadBinary(r io.Reader) (*Tensor, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("sptensor: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("sptensor: bad magic %q", magic)
+	}
+	var nModes uint64
+	if err := binary.Read(br, binary.LittleEndian, &nModes); err != nil {
+		return nil, err
+	}
+	if nModes == 0 || nModes > 16 {
+		return nil, fmt.Errorf("sptensor: implausible mode count %d", nModes)
+	}
+	dims := make([]int, nModes)
+	for m := range dims {
+		var d uint64
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		if d > math.MaxInt32 {
+			return nil, fmt.Errorf("sptensor: dim %d overflows int32", d)
+		}
+		dims[m] = int(d)
+	}
+	var nnz uint64
+	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+		return nil, err
+	}
+	if nnz > math.MaxInt32 {
+		return nil, fmt.Errorf("sptensor: implausible nonzero count %d", nnz)
+	}
+	// Read in bounded chunks so a corrupt header claiming a huge count
+	// fails at EOF after a small allocation instead of attempting a
+	// multi-gigabyte make().
+	t := New(dims...)
+	for m := range t.Inds {
+		col, err := readInt32Chunked(br, int(nnz))
+		if err != nil {
+			return nil, err
+		}
+		t.Inds[m] = col
+	}
+	vals, err := readFloat64Chunked(br, int(nnz))
+	if err != nil {
+		return nil, err
+	}
+	t.Vals = vals
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// readChunk is the element budget per incremental read (1 MiB of int32).
+const readChunk = 1 << 18
+
+func readInt32Chunked(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, min(n, readChunk))
+	for len(out) < n {
+		c := n - len(out)
+		if c > readChunk {
+			c = readChunk
+		}
+		buf := make([]int32, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
+func readFloat64Chunked(r io.Reader, n int) ([]float64, error) {
+	out := make([]float64, 0, min(n, readChunk))
+	for len(out) < n {
+		c := n - len(out)
+		if c > readChunk {
+			c = readChunk
+		}
+		buf := make([]float64, c)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+	}
+	return out, nil
+}

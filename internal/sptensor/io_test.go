@@ -1,0 +1,146 @@
+package sptensor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadTNSBasic(t *testing.T) {
+	in := `# comment line
+1 2 1 1.5
+
+3 4 2 -2.0
+2 1 1 3.0
+`
+	ts, err := ReadTNS(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NModes() != 3 || ts.NNZ() != 3 {
+		t.Fatalf("modes=%d nnz=%d", ts.NModes(), ts.NNZ())
+	}
+	// Dims inferred from max coordinate.
+	if ts.Dims[0] != 3 || ts.Dims[1] != 4 || ts.Dims[2] != 2 {
+		t.Fatalf("dims = %v", ts.Dims)
+	}
+	// 1-based → 0-based.
+	if ts.Inds[0][0] != 0 || ts.Inds[1][0] != 1 || ts.Vals[0] != 1.5 {
+		t.Fatal("coordinate conversion wrong")
+	}
+}
+
+func TestReadTNSWithDims(t *testing.T) {
+	ts, err := ReadTNS(strings.NewReader("1 1 2.0\n"), []int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Dims[0] != 5 {
+		t.Fatal("given dims ignored")
+	}
+	if _, err := ReadTNS(strings.NewReader("9 1 2.0\n"), []int{5, 5}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := ReadTNS(strings.NewReader("1 1 1 2.0\n"), []int{5, 5}); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestReadTNSMalformed(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"1\n",              // too few fields
+		"x 1 2.0\n",        // bad coordinate
+		"0 1 2.0\n",        // 0-based coordinate
+		"1 1 zzz\n",        // bad value
+		"1 1 NaN\n",        // non-finite
+		"1 1 2.0\n1 2.0\n", // inconsistent arity
+	}
+	for i, in := range cases {
+		if _, err := ReadTNS(strings.NewReader(in), nil); err == nil {
+			t.Fatalf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestTNSRoundTrip(t *testing.T) {
+	orig := buildTestTensor()
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTNS(&buf, orig.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() {
+		t.Fatal("nnz changed")
+	}
+	for e := 0; e < orig.NNZ(); e++ {
+		for m := range orig.Inds {
+			if back.Inds[m][e] != orig.Inds[m][e] {
+				t.Fatal("indices changed")
+			}
+		}
+		if back.Vals[e] != orig.Vals[e] {
+			t.Fatal("values changed")
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := buildTestTensor()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() || back.NModes() != orig.NModes() {
+		t.Fatal("shape changed")
+	}
+	for e := 0; e < orig.NNZ(); e++ {
+		for m := range orig.Inds {
+			if back.Inds[m][e] != orig.Inds[m][e] {
+				t.Fatal("indices changed")
+			}
+		}
+		if back.Vals[e] != orig.Vals[e] {
+			t.Fatal("values changed")
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a tensor")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("expected EOF error")
+	}
+	// Valid magic, truncated body.
+	if _, err := ReadBinary(bytes.NewReader([]byte{'S', 'P', 'T', '1', 3})); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/t.tns"
+	orig := buildTestTensor()
+	if err := WriteTNSFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTNSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != orig.NNZ() {
+		t.Fatal("file round trip lost nonzeros")
+	}
+	if _, err := ReadTNSFile(dir + "/missing.tns"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,63 @@
+package sptensor
+
+import (
+	"fmt"
+
+	"spstream/internal/dense"
+)
+
+// Matricize returns the dense mode-n matricization X₍ₙ₎ of the tensor:
+// an Iₙ × ∏_{m≠n} I_m matrix. Column ordering follows the row-major
+// linearization of the remaining modes in increasing mode order, which
+// matches dense.KhatriRaoAll over the remaining factor matrices in the
+// same order. Intended for small test tensors only: the column count is
+// the product of all other mode lengths.
+func Matricize(t *Tensor, mode int) (*dense.Matrix, error) {
+	if mode < 0 || mode >= t.NModes() {
+		return nil, fmt.Errorf("sptensor: matricize mode %d out of range", mode)
+	}
+	cols := 1
+	for m, d := range t.Dims {
+		if m == mode {
+			continue
+		}
+		if cols > 1<<24/max(d, 1) {
+			return nil, fmt.Errorf("sptensor: matricization too large (> 2^24 elements)")
+		}
+		cols *= d
+	}
+	out := dense.NewMatrix(t.Dims[mode], cols)
+	for e := 0; e < t.NNZ(); e++ {
+		col := 0
+		for m := range t.Dims {
+			if m == mode {
+				continue
+			}
+			col = col*t.Dims[m] + int(t.Inds[m][e])
+		}
+		row := int(t.Inds[mode][e])
+		out.Data[row*out.Stride+col] += t.Vals[e]
+	}
+	return out, nil
+}
+
+// ToDenseVector linearizes the whole tensor into a single row-major
+// vector (last mode fastest). Test helper for tiny tensors.
+func ToDenseVector(t *Tensor) ([]float64, error) {
+	total := 1
+	for _, d := range t.Dims {
+		if total > 1<<24/max(d, 1) {
+			return nil, fmt.Errorf("sptensor: dense expansion too large")
+		}
+		total *= d
+	}
+	out := make([]float64, total)
+	for e := 0; e < t.NNZ(); e++ {
+		off := 0
+		for m := range t.Dims {
+			off = off*t.Dims[m] + int(t.Inds[m][e])
+		}
+		out[off] += t.Vals[e]
+	}
+	return out, nil
+}

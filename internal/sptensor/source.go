@@ -1,0 +1,91 @@
+package sptensor
+
+// ChannelSource adapts a Go channel of slices to the SliceSource
+// interface, for live ingestion pipelines: a producer goroutine builds
+// slices (e.g. by windowing incoming events) and the decomposer
+// consumes them with ProcessStream. Closing the channel ends the
+// stream.
+type ChannelSource struct {
+	dims []int
+	ch   <-chan *Tensor
+}
+
+// NewChannelSource wraps a channel of slices with the given mode
+// lengths.
+func NewChannelSource(dims []int, ch <-chan *Tensor) *ChannelSource {
+	return &ChannelSource{dims: append([]int(nil), dims...), ch: ch}
+}
+
+// Dims implements SliceSource.
+func (c *ChannelSource) Dims() []int { return c.dims }
+
+// Next implements SliceSource; it blocks until a slice arrives or the
+// channel closes (returning nil).
+func (c *ChannelSource) Next() *Tensor {
+	x, ok := <-c.ch
+	if !ok {
+		return nil
+	}
+	return x
+}
+
+// Event is one timestamped nonzero for the window accumulator.
+type Event struct {
+	// Coord holds one index per (non-streaming) mode.
+	Coord []int32
+	Value float64
+}
+
+// WindowAccumulator groups events into fixed-size time windows and
+// emits one coalesced slice per window — the standard way to turn an
+// event feed (log lines, messages, flows) into a tensor stream.
+type WindowAccumulator struct {
+	dims    []int
+	current *Tensor
+	count   int
+	// WindowEvents is the number of events per emitted slice.
+	WindowEvents int
+}
+
+// NewWindowAccumulator creates an accumulator emitting a slice every
+// windowEvents events.
+func NewWindowAccumulator(dims []int, windowEvents int) *WindowAccumulator {
+	if windowEvents < 1 {
+		windowEvents = 1
+	}
+	w := &WindowAccumulator{dims: append([]int(nil), dims...), WindowEvents: windowEvents}
+	w.reset()
+	return w
+}
+
+func (w *WindowAccumulator) reset() {
+	w.current = New(w.dims...)
+	w.current.Reserve(w.WindowEvents)
+	w.count = 0
+}
+
+// Add appends one event; when the window fills, the coalesced slice is
+// returned (and a fresh window started), otherwise nil.
+func (w *WindowAccumulator) Add(e Event) *Tensor {
+	w.current.Append(e.Coord, e.Value)
+	w.count++
+	if w.count < w.WindowEvents {
+		return nil
+	}
+	out := w.current
+	out.Coalesce()
+	w.reset()
+	return out
+}
+
+// Flush returns the partial window as a slice (nil when empty) and
+// starts a fresh window. Call at end of stream.
+func (w *WindowAccumulator) Flush() *Tensor {
+	if w.count == 0 {
+		return nil
+	}
+	out := w.current
+	out.Coalesce()
+	w.reset()
+	return out
+}

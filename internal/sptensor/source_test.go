@@ -1,0 +1,101 @@
+package sptensor
+
+import "testing"
+
+func TestChannelSource(t *testing.T) {
+	ch := make(chan *Tensor, 2)
+	src := NewChannelSource([]int{3, 3}, ch)
+	if len(src.Dims()) != 2 {
+		t.Fatal("dims wrong")
+	}
+	a := New(3, 3)
+	a.Append([]int32{0, 0}, 1)
+	ch <- a
+	close(ch)
+	if got := src.Next(); got == nil || got.NNZ() != 1 {
+		t.Fatal("first slice wrong")
+	}
+	if src.Next() != nil {
+		t.Fatal("closed channel should yield nil")
+	}
+}
+
+func TestWindowAccumulator(t *testing.T) {
+	w := NewWindowAccumulator([]int{4, 4}, 3)
+	if out := w.Add(Event{Coord: []int32{0, 0}, Value: 1}); out != nil {
+		t.Fatal("window emitted early")
+	}
+	if out := w.Add(Event{Coord: []int32{0, 0}, Value: 2}); out != nil {
+		t.Fatal("window emitted early")
+	}
+	out := w.Add(Event{Coord: []int32{1, 1}, Value: 5})
+	if out == nil {
+		t.Fatal("full window did not emit")
+	}
+	// Duplicates coalesced: (0,0)=3, (1,1)=5.
+	if out.NNZ() != 2 {
+		t.Fatalf("coalesced nnz = %d", out.NNZ())
+	}
+	total := 0.0
+	for _, v := range out.Vals {
+		total += v
+	}
+	if total != 8 {
+		t.Fatalf("mass = %v", total)
+	}
+	// Next window starts clean.
+	if w.Flush() != nil {
+		t.Fatal("fresh window should flush to nil")
+	}
+	w.Add(Event{Coord: []int32{2, 2}, Value: 7})
+	fl := w.Flush()
+	if fl == nil || fl.NNZ() != 1 {
+		t.Fatal("flush of partial window wrong")
+	}
+	if w.Flush() != nil {
+		t.Fatal("double flush should be nil")
+	}
+}
+
+func TestWindowAccumulatorMinWindow(t *testing.T) {
+	w := NewWindowAccumulator([]int{2, 2}, 0) // clamps to 1
+	if out := w.Add(Event{Coord: []int32{0, 1}, Value: 1}); out == nil {
+		t.Fatal("window of 1 should emit every event")
+	}
+}
+
+// End-to-end: a producer goroutine feeds windows through a channel into
+// a decomposer-style consumer loop.
+func TestChannelSourceEndToEnd(t *testing.T) {
+	ch := make(chan *Tensor)
+	go func() {
+		w := NewWindowAccumulator([]int{5, 5}, 4)
+		for i := 0; i < 10; i++ {
+			if out := w.Add(Event{Coord: []int32{int32(i % 5), int32((i * 2) % 5)}, Value: 1}); out != nil {
+				ch <- out
+			}
+		}
+		if out := w.Flush(); out != nil {
+			ch <- out
+		}
+		close(ch)
+	}()
+	src := NewChannelSource([]int{5, 5}, ch)
+	slices, events := 0, 0
+	for {
+		x := src.Next()
+		if x == nil {
+			break
+		}
+		slices++
+		for _, v := range x.Vals {
+			events += int(v)
+		}
+	}
+	if slices != 3 { // 4+4+2 events
+		t.Fatalf("slices = %d", slices)
+	}
+	if events != 10 {
+		t.Fatalf("events = %d", events)
+	}
+}

@@ -1,0 +1,123 @@
+package sptensor
+
+import "fmt"
+
+// Stream is an ordered sequence of N-way time slices obtained by fixing
+// the streaming mode of an (N+1)-way tensor — the X₁,…,X_T view used by
+// CP-stream. Slice t contains all nonzeros whose streaming-mode index
+// was t, with the streaming coordinate removed.
+type Stream struct {
+	// Dims are the mode lengths of each slice (streaming mode removed).
+	Dims []int
+	// Slices[t] is Xₜ; empty slices are represented by tensors with zero
+	// nonzeros (real streams have quiet periods).
+	Slices []*Tensor
+}
+
+// T returns the number of time steps.
+func (s *Stream) T() int { return len(s.Slices) }
+
+// NModes returns the number of modes of each slice.
+func (s *Stream) NModes() int { return len(s.Dims) }
+
+// NNZ returns the total nonzeros across all slices.
+func (s *Stream) NNZ() int {
+	n := 0
+	for _, sl := range s.Slices {
+		n += sl.NNZ()
+	}
+	return n
+}
+
+// Split partitions tensor t along streamMode into a Stream with one
+// slice per index value of that mode (including empty slices for absent
+// indices). The input tensor is not modified.
+func Split(t *Tensor, streamMode int) (*Stream, error) {
+	if streamMode < 0 || streamMode >= t.NModes() {
+		return nil, fmt.Errorf("sptensor: stream mode %d out of range for %d modes", streamMode, t.NModes())
+	}
+	if t.NModes() < 2 {
+		return nil, fmt.Errorf("sptensor: cannot stream a %d-way tensor", t.NModes())
+	}
+	sliceDims := make([]int, 0, t.NModes()-1)
+	otherModes := make([]int, 0, t.NModes()-1)
+	for m, d := range t.Dims {
+		if m != streamMode {
+			sliceDims = append(sliceDims, d)
+			otherModes = append(otherModes, m)
+		}
+	}
+	tSteps := t.Dims[streamMode]
+	// Count nonzeros per time step to size slice storage exactly.
+	counts := make([]int, tSteps)
+	for _, ti := range t.Inds[streamMode] {
+		counts[ti]++
+	}
+	slices := make([]*Tensor, tSteps)
+	for step := range slices {
+		sl := New(sliceDims...)
+		sl.Reserve(counts[step])
+		slices[step] = sl
+	}
+	coord := make([]int32, len(otherModes))
+	for e := 0; e < t.NNZ(); e++ {
+		step := t.Inds[streamMode][e]
+		for c, m := range otherModes {
+			coord[c] = t.Inds[m][e]
+		}
+		slices[step].Append(coord, t.Vals[e])
+	}
+	return &Stream{Dims: sliceDims, Slices: slices}, nil
+}
+
+// Merge reassembles a Stream into an (N+1)-way tensor with the streaming
+// mode appended last. It is the inverse of Split up to mode order and
+// nonzero ordering; tests use it for round-trip checks.
+func Merge(s *Stream) *Tensor {
+	dims := append(append([]int(nil), s.Dims...), s.T())
+	out := New(dims...)
+	out.Reserve(s.NNZ())
+	n := len(s.Dims)
+	coord := make([]int32, n+1)
+	for step, sl := range s.Slices {
+		coord[n] = int32(step)
+		for e := 0; e < sl.NNZ(); e++ {
+			for m := 0; m < n; m++ {
+				coord[m] = sl.Inds[m][e]
+			}
+			out.Append(coord, sl.Vals[e])
+		}
+	}
+	return out
+}
+
+// SliceSource yields time slices one at a time — the interface the
+// streaming decomposer consumes so that slices can come from a
+// pre-split tensor, a generator, or a network feed. Next returns nil
+// when the stream is exhausted.
+type SliceSource interface {
+	// Dims returns the mode lengths of every slice.
+	Dims() []int
+	// Next returns the next slice or nil at end of stream.
+	Next() *Tensor
+}
+
+// streamSource adapts Stream to SliceSource.
+type streamSource struct {
+	s   *Stream
+	pos int
+}
+
+// Source returns a SliceSource that replays the stream from the start.
+func (s *Stream) Source() SliceSource { return &streamSource{s: s} }
+
+func (ss *streamSource) Dims() []int { return ss.s.Dims }
+
+func (ss *streamSource) Next() *Tensor {
+	if ss.pos >= ss.s.T() {
+		return nil
+	}
+	sl := ss.s.Slices[ss.pos]
+	ss.pos++
+	return sl
+}

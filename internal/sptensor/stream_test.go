@@ -1,0 +1,110 @@
+package sptensor
+
+import "testing"
+
+func buildStreamTensor() *Tensor {
+	// 3 modes: 2×3 slices over 4 time steps (stream mode = 2).
+	t := New(2, 3, 4)
+	t.Append([]int32{0, 0, 0}, 1)
+	t.Append([]int32{1, 2, 0}, 2)
+	t.Append([]int32{0, 1, 2}, 3)
+	t.Append([]int32{1, 1, 2}, 4)
+	t.Append([]int32{1, 0, 3}, 5)
+	return t
+}
+
+func TestSplitBasics(t *testing.T) {
+	ts := buildStreamTensor()
+	s, err := Split(ts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T() != 4 || s.NModes() != 2 {
+		t.Fatalf("T=%d modes=%d", s.T(), s.NModes())
+	}
+	if s.Dims[0] != 2 || s.Dims[1] != 3 {
+		t.Fatalf("dims = %v", s.Dims)
+	}
+	if s.Slices[0].NNZ() != 2 || s.Slices[1].NNZ() != 0 || s.Slices[2].NNZ() != 2 || s.Slices[3].NNZ() != 1 {
+		t.Fatal("nonzeros routed to wrong slices")
+	}
+	if s.NNZ() != 5 {
+		t.Fatalf("total nnz = %d", s.NNZ())
+	}
+	// Slice 3 holds coordinate (1,0) value 5.
+	sl := s.Slices[3]
+	if sl.Inds[0][0] != 1 || sl.Inds[1][0] != 0 || sl.Vals[0] != 5 {
+		t.Fatal("slice contents wrong")
+	}
+}
+
+func TestSplitMiddleMode(t *testing.T) {
+	ts := buildStreamTensor()
+	s, err := Split(ts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.T() != 3 {
+		t.Fatalf("T = %d", s.T())
+	}
+	if s.Dims[0] != 2 || s.Dims[1] != 4 {
+		t.Fatalf("dims = %v", s.Dims)
+	}
+	if s.NNZ() != 5 {
+		t.Fatal("lost nonzeros")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	ts := buildStreamTensor()
+	if _, err := Split(ts, 5); err == nil {
+		t.Fatal("expected mode range error")
+	}
+	one := New(4)
+	one.Append([]int32{1}, 1)
+	if _, err := Split(one, 0); err == nil {
+		t.Fatal("expected error for 1-way tensor")
+	}
+}
+
+func TestMergeRoundTrip(t *testing.T) {
+	ts := buildStreamTensor()
+	s, err := Split(ts, 2) // stream mode last, so Merge restores mode order
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := Merge(s)
+	if back.NNZ() != ts.NNZ() {
+		t.Fatalf("nnz %d vs %d", back.NNZ(), ts.NNZ())
+	}
+	back.Coalesce()
+	orig := ts.Clone()
+	orig.Coalesce()
+	if back.Norm2() != orig.Norm2() {
+		t.Fatal("Merge/Split changed values")
+	}
+	for m := range orig.Dims {
+		if back.Dims[m] != orig.Dims[m] {
+			t.Fatalf("dims changed: %v vs %v", back.Dims, orig.Dims)
+		}
+	}
+}
+
+func TestSource(t *testing.T) {
+	ts := buildStreamTensor()
+	s, _ := Split(ts, 2)
+	src := s.Source()
+	if len(src.Dims()) != 2 {
+		t.Fatal("source dims wrong")
+	}
+	count := 0
+	for src.Next() != nil {
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("source yielded %d slices", count)
+	}
+	if src.Next() != nil {
+		t.Fatal("exhausted source should keep returning nil")
+	}
+}

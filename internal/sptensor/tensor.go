@@ -1,0 +1,270 @@
+// Package sptensor implements the sparse-tensor substrate for CP-stream:
+// a coordinate-format (COO) sparse tensor, streaming-slice extraction
+// along a designated time mode, nonzero-slice (index-set) analysis,
+// FROSTT text and binary I/O, and mode histograms.
+//
+// Storage is struct-of-arrays: one int32 index column per mode plus one
+// value column. Index columns are the natural layout for MTTKRP, which
+// streams all nonzeros and touches every mode's index.
+package sptensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tensor is an N-way sparse tensor in coordinate format. Nonzero e has
+// coordinates (Inds[0][e], …, Inds[N-1][e]) and value Vals[e]. Indices
+// are 0-based and must lie in [0, Dims[m]).
+type Tensor struct {
+	Dims []int
+	Inds [][]int32
+	Vals []float64
+}
+
+// New creates an empty tensor with the given mode lengths.
+func New(dims ...int) *Tensor {
+	t := &Tensor{Dims: append([]int(nil), dims...), Inds: make([][]int32, len(dims))}
+	return t
+}
+
+// NModes returns the number of modes.
+func (t *Tensor) NModes() int { return len(t.Dims) }
+
+// NNZ returns the number of stored nonzeros.
+func (t *Tensor) NNZ() int { return len(t.Vals) }
+
+// Append adds one nonzero. idx must have one coordinate per mode.
+func (t *Tensor) Append(idx []int32, val float64) {
+	if len(idx) != len(t.Dims) {
+		panic(fmt.Sprintf("sptensor: Append with %d coordinates for %d modes", len(idx), len(t.Dims)))
+	}
+	for m, i := range idx {
+		t.Inds[m] = append(t.Inds[m], i)
+	}
+	t.Vals = append(t.Vals, val)
+}
+
+// Reserve grows capacity for n additional nonzeros.
+func (t *Tensor) Reserve(n int) {
+	for m := range t.Inds {
+		if cap(t.Inds[m])-len(t.Inds[m]) < n {
+			grown := make([]int32, len(t.Inds[m]), len(t.Inds[m])+n)
+			copy(grown, t.Inds[m])
+			t.Inds[m] = grown
+		}
+	}
+	if cap(t.Vals)-len(t.Vals) < n {
+		grown := make([]float64, len(t.Vals), len(t.Vals)+n)
+		copy(grown, t.Vals)
+		t.Vals = grown
+	}
+}
+
+// Validate checks structural invariants: equal column lengths and
+// in-range indices. It returns a descriptive error for the first
+// violation found.
+func (t *Tensor) Validate() error {
+	if len(t.Inds) != len(t.Dims) {
+		return fmt.Errorf("sptensor: %d index columns for %d modes", len(t.Inds), len(t.Dims))
+	}
+	for m, col := range t.Inds {
+		if len(col) != len(t.Vals) {
+			return fmt.Errorf("sptensor: mode %d has %d indices, %d values", m, len(col), len(t.Vals))
+		}
+		dim := int32(t.Dims[m])
+		for e, i := range col {
+			if i < 0 || i >= dim {
+				return fmt.Errorf("sptensor: nonzero %d mode %d index %d out of range [0,%d)", e, m, i, dim)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{
+		Dims: append([]int(nil), t.Dims...),
+		Inds: make([][]int32, len(t.Inds)),
+		Vals: append([]float64(nil), t.Vals...),
+	}
+	for m := range t.Inds {
+		out.Inds[m] = append([]int32(nil), t.Inds[m]...)
+	}
+	return out
+}
+
+// Norm2 returns the squared Frobenius norm Σ val², assuming coordinates
+// are unique (duplicates would need coalescing first).
+func (t *Tensor) Norm2() float64 {
+	sum := 0.0
+	for _, v := range t.Vals {
+		sum += v * v
+	}
+	return sum
+}
+
+// SortByMode sorts nonzeros lexicographically with the given mode as the
+// primary key (remaining modes in order as tie-breakers). Used to build
+// slice offsets and to coalesce duplicates.
+func (t *Tensor) SortByMode(mode int) {
+	n := t.NNZ()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	order := make([]int, 0, len(t.Dims))
+	order = append(order, mode)
+	for m := range t.Dims {
+		if m != mode {
+			order = append(order, m)
+		}
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		for _, m := range order {
+			ia, ib := t.Inds[m][perm[a]], t.Inds[m][perm[b]]
+			if ia != ib {
+				return ia < ib
+			}
+		}
+		return false
+	})
+	t.applyPermutation(perm)
+}
+
+func (t *Tensor) applyPermutation(perm []int) {
+	for m := range t.Inds {
+		col := t.Inds[m]
+		next := make([]int32, len(col))
+		for i, p := range perm {
+			next[i] = col[p]
+		}
+		t.Inds[m] = next
+	}
+	vals := make([]float64, len(t.Vals))
+	for i, p := range perm {
+		vals[i] = t.Vals[p]
+	}
+	t.Vals = vals
+}
+
+// Coalesce sums duplicate coordinates into a single nonzero and drops
+// exact zeros. The tensor is left sorted by mode 0.
+func (t *Tensor) Coalesce() {
+	if t.NNZ() == 0 {
+		return
+	}
+	t.SortByMode(0)
+	write := 0
+	for read := 0; read < t.NNZ(); read++ {
+		if write > 0 && t.sameCoords(write-1, read) {
+			t.Vals[write-1] += t.Vals[read]
+			continue
+		}
+		if read != write {
+			for m := range t.Inds {
+				t.Inds[m][write] = t.Inds[m][read]
+			}
+			t.Vals[write] = t.Vals[read]
+		}
+		write++
+	}
+	// Drop zeros produced by cancellation.
+	keep := 0
+	for e := 0; e < write; e++ {
+		if t.Vals[e] == 0 {
+			continue
+		}
+		if e != keep {
+			for m := range t.Inds {
+				t.Inds[m][keep] = t.Inds[m][e]
+			}
+			t.Vals[keep] = t.Vals[e]
+		}
+		keep++
+	}
+	for m := range t.Inds {
+		t.Inds[m] = t.Inds[m][:keep]
+	}
+	t.Vals = t.Vals[:keep]
+}
+
+func (t *Tensor) sameCoords(a, b int) bool {
+	for m := range t.Inds {
+		if t.Inds[m][a] != t.Inds[m][b] {
+			return false
+		}
+	}
+	return true
+}
+
+// NonzeroSlices returns the sorted distinct index values present in the
+// given mode — the nz(n) set of spCP-stream.
+func (t *Tensor) NonzeroSlices(mode int) []int32 {
+	if t.NNZ() == 0 {
+		return nil
+	}
+	seen := make(map[int32]struct{}, 1024)
+	for _, i := range t.Inds[mode] {
+		seen[i] = struct{}{}
+	}
+	out := make([]int32, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Density returns nnz / ∏ dims as a float64 (0 for degenerate shapes).
+func (t *Tensor) Density() float64 {
+	total := 1.0
+	for _, d := range t.Dims {
+		total *= float64(d)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(t.NNZ()) / total
+}
+
+// String summarizes the tensor shape.
+func (t *Tensor) String() string {
+	s := "Tensor"
+	for m, d := range t.Dims {
+		if m == 0 {
+			s += fmt.Sprintf(" %d", d)
+		} else {
+			s += fmt.Sprintf("×%d", d)
+		}
+	}
+	return fmt.Sprintf("%s (%d nnz)", s, t.NNZ())
+}
+
+// PermuteModes returns a copy of the tensor with its modes reordered:
+// new mode m holds what was mode order[m]. Useful for putting a tensor's
+// natural streaming mode last before Merge-style serialization or for
+// CSF orderings.
+func (t *Tensor) PermuteModes(order []int) (*Tensor, error) {
+	if len(order) != t.NModes() {
+		return nil, fmt.Errorf("sptensor: permutation has %d modes, tensor %d", len(order), t.NModes())
+	}
+	seen := make([]bool, t.NModes())
+	for _, m := range order {
+		if m < 0 || m >= t.NModes() || seen[m] {
+			return nil, fmt.Errorf("sptensor: %v is not a mode permutation", order)
+		}
+		seen[m] = true
+	}
+	out := &Tensor{
+		Dims: make([]int, t.NModes()),
+		Inds: make([][]int32, t.NModes()),
+		Vals: append([]float64(nil), t.Vals...),
+	}
+	for m, src := range order {
+		out.Dims[m] = t.Dims[src]
+		out.Inds[m] = append([]int32(nil), t.Inds[src]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The presets mirror the four FROSTT datasets of paper Table II, scaled
+// down (the real Patents tensor has 3.5B nonzeros). Scale = 1 gives a
+// workstation-sized workload for benchmarks; tests use Scale ≈ 0.05. The
+// streaming mode of the original dataset is removed (it becomes the
+// slice sequence) and the remaining modes keep their qualitative index
+// distributions:
+//
+//	Patents  year(46)ˢ × terms(239K) × terms(239K), 3.5B nnz —
+//	         Zipf term popularity, two large modes.
+//	Flickr   user(320K) × image(28M) × tag(1.6M) × date(731)ˢ, 113M —
+//	         the image mode is Clustered: each slice touches ≈1% of
+//	         rows (paper Fig. 1), tags Zipf, users Zipf.
+//	Uber     date(183)ˢ × hour(24) × lat(1.1K) × long(1.7K), 3.3M —
+//	         small dims; factor matrices fit in cache.
+//	NIPS     paper(2.5K) × author(2.9K) × word(14K) × year(7)ˢ, 3.1M —
+//	         moderate dims, Zipf words.
+type presetBuilder func(scale float64) Config
+
+var presets = map[string]presetBuilder{
+	"patents": func(s float64) Config {
+		terms := scaled(20000, s, 64)
+		return Config{
+			Name: "patents",
+			Dists: []IndexDist{
+				NewZipf(terms, 0.75),
+				NewZipf(terms, 0.75),
+			},
+			T:           clampT(20, s),
+			NNZPerSlice: scaled(120000, s, 200),
+			Values:      ValuePlanted,
+			PlantedRank: 8,
+			NoiseStd:    0.05,
+			Seed:        42,
+		}
+	},
+	"flickr": func(s float64) Config {
+		users := scaled(4000, s, 40)
+		images := scaled(400000, s, 400)
+		tags := scaled(20000, s, 60)
+		window := images / 60
+		if window < 8 {
+			window = 8
+		}
+		return Config{
+			Name: "flickr",
+			Dists: []IndexDist{
+				NewZipf(users, 0.7),
+				Clustered{N: images, Window: window, Drift: window * 2 / 3, Revisit: 0.02},
+				NewZipf(tags, 0.7),
+			},
+			T:           clampT(30, s),
+			NNZPerSlice: scaled(20000, s, 100),
+			Values:      ValuePlanted,
+			PlantedRank: 8,
+			NoiseStd:    0.05,
+			Seed:        43,
+		}
+	},
+	"uber": func(s float64) Config {
+		return Config{
+			Name: "uber",
+			Dists: []IndexDist{
+				Uniform{N: 24},
+				Uniform{N: scaled(1100, s, 24)},
+				Uniform{N: scaled(1700, s, 24)},
+			},
+			T:           clampT(40, s),
+			NNZPerSlice: scaled(18000, s, 100),
+			Values:      ValuePlanted,
+			PlantedRank: 8,
+			NoiseStd:    0.05,
+			Seed:        44,
+		}
+	},
+	"nips": func(s float64) Config {
+		return Config{
+			Name: "nips",
+			Dists: []IndexDist{
+				Uniform{N: scaled(2500, s, 40)},
+				NewZipf(scaled(2900, s, 40), 0.6),
+				NewZipf(scaled(14000, s, 60), 0.6),
+			},
+			T:           7,
+			NNZPerSlice: scaled(150000, s, 200),
+			Values:      ValuePlanted,
+			PlantedRank: 8,
+			NoiseStd:    0.05,
+			Seed:        45,
+		}
+	},
+}
+
+// PresetNames lists available presets in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the Config for a named dataset analogue at the given
+// scale (1 = benchmark size). Unknown names return an error listing the
+// available presets.
+func Preset(name string, scale float64) (Config, error) {
+	b, ok := presets[strings.ToLower(name)]
+	if !ok {
+		return Config{}, fmt.Errorf("synth: unknown preset %q (available: %s)", name, strings.Join(PresetNames(), ", "))
+	}
+	if scale <= 0 {
+		return Config{}, fmt.Errorf("synth: scale must be positive, got %g", scale)
+	}
+	return b(scale), nil
+}
+
+// scaled multiplies n by scale with a floor.
+func scaled(n int, scale float64, floor int) int {
+	v := int(float64(n) * scale)
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// clampT shrinks the slice count for very small scales so tests stay
+// fast, but never below 5 slices (streaming needs history).
+func clampT(t int, scale float64) int {
+	if scale >= 0.5 {
+		return t
+	}
+	v := t / 2
+	if v < 5 {
+		v = 5
+	}
+	return v
+}

@@ -1,0 +1,308 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spstream/internal/sptensor"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a7 := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a7.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("different seeds look identical")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 10)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for b, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("bucket %d count %d far from uniform", b, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<=0")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3)
+	n := 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("variance = %v", variance)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.2)
+	r := NewRNG(4)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		idx := z.Sample(r, 0)
+		if idx < 0 || int(idx) >= 1000 {
+			t.Fatalf("Zipf out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	// Head must dominate tail.
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("Zipf not skewed: head=%d mid=%d", counts[0], counts[500])
+	}
+}
+
+func TestClusteredWindow(t *testing.T) {
+	c := Clustered{N: 10000, Window: 100, Drift: 60, Revisit: 0}
+	r := NewRNG(5)
+	seen := map[int32]bool{}
+	for i := 0; i < 5000; i++ {
+		idx := c.Sample(r, 3)
+		base := 3 * 60
+		if int(idx) < base || int(idx) >= base+100 {
+			t.Fatalf("clustered sample %d outside window [%d,%d)", idx, base, base+100)
+		}
+		seen[idx] = true
+	}
+	if len(seen) > 100 {
+		t.Fatal("clustered touched more rows than the window")
+	}
+}
+
+func TestClusteredRevisit(t *testing.T) {
+	c := Clustered{N: 10000, Window: 100, Drift: 60, Revisit: 1.0}
+	r := NewRNG(6)
+	// With revisit=1 and t>0, all samples must be below the window base.
+	for i := 0; i < 1000; i++ {
+		idx := c.Sample(r, 10)
+		if int(idx) >= 600 {
+			t.Fatalf("revisit sample %d not older than base", idx)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{
+		Name:        "t",
+		Dists:       []IndexDist{Uniform{N: 50}, NewZipf(80, 1.1)},
+		T:           4,
+		NNZPerSlice: 500,
+		Values:      ValueCounts,
+		Seed:        9,
+	}
+	s1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.T() != 4 || s1.NNZ() != s2.NNZ() {
+		t.Fatal("shape mismatch")
+	}
+	for ti := range s1.Slices {
+		a, b := s1.Slices[ti], s2.Slices[ti]
+		if a.NNZ() != b.NNZ() {
+			t.Fatal("slice nnz differs across runs")
+		}
+		for e := 0; e < a.NNZ(); e++ {
+			if a.Vals[e] != b.Vals[e] {
+				t.Fatal("values differ across runs")
+			}
+		}
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	bad := []Config{
+		{Dists: []IndexDist{Uniform{N: 5}}, T: 3, NNZPerSlice: 10},                                      // 1 mode
+		{Dists: []IndexDist{Uniform{N: 5}, Uniform{N: 5}}, T: 0, NNZPerSlice: 10},                       // no slices
+		{Dists: []IndexDist{Uniform{N: 5}, Uniform{N: 5}}, T: 3, NNZPerSlice: 0},                        // no nnz
+		{Dists: []IndexDist{Uniform{N: 5}, Uniform{N: 5}}, T: 3, NNZPerSlice: 10, Values: ValuePlanted}, // no rank
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGeneratePlantedStructure(t *testing.T) {
+	cfg := Config{
+		Name:        "planted",
+		Dists:       []IndexDist{Uniform{N: 30}, Uniform{N: 30}},
+		T:           3,
+		NNZPerSlice: 400,
+		Values:      ValuePlanted,
+		PlantedRank: 4,
+		NoiseStd:    0,
+		Seed:        11,
+	}
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noiseless planted values from non-negative factors must be ≥ 0.
+	for _, sl := range s.Slices {
+		if err := sl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range sl.Vals {
+			if v < 0 {
+				t.Fatalf("planted value negative: %v", v)
+			}
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.T() < 5 {
+			t.Fatalf("%s: too few slices (%d)", name, s.T())
+		}
+		for _, sl := range s.Slices {
+			if err := sl.Validate(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	if _, err := Preset("nope", 1); err == nil {
+		t.Fatal("expected unknown-preset error")
+	}
+	if _, err := Preset("uber", -1); err == nil {
+		t.Fatal("expected bad-scale error")
+	}
+}
+
+// The Flickr-like preset must reproduce the paper's key property: the
+// clustered (image) mode has ≈99% zero rows per slice while the other
+// modes are far less sparse in row space.
+func TestFlickrLikeZeroRowFraction(t *testing.T) {
+	cfg, err := Preset("flickr", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := s.Slices[s.T()/2]
+	imageStats := sptensor.StatsForMode(sl, 1)
+	if imageStats.ZeroRowFrac < 0.95 {
+		t.Fatalf("image mode zero-row fraction %.3f, want ≥ 0.95", imageStats.ZeroRowFrac)
+	}
+	span := sptensor.OccupiedSpan(sl, 1, 100)
+	if span > 0.2 {
+		t.Fatalf("image mode occupies %.2f of the index range, want clustered", span)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		s1 := r.Split()
+		s2 := r.Split()
+		return s1.Uint64() != s2.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSliceMatchesGenerate(t *testing.T) {
+	cfg := Config{
+		Name:        "slice-eq",
+		Dists:       []IndexDist{Uniform{N: 40}, NewZipf(60, 1.0)},
+		T:           5,
+		NNZPerSlice: 300,
+		Values:      ValuePlanted,
+		PlantedRank: 3,
+		NoiseStd:    0.01,
+		Seed:        21,
+	}
+	full, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < cfg.T; ti++ {
+		one, err := GenerateSlice(cfg, ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full.Slices[ti]
+		if one.NNZ() != want.NNZ() {
+			t.Fatalf("slice %d: nnz %d vs %d", ti, one.NNZ(), want.NNZ())
+		}
+		for e := 0; e < one.NNZ(); e++ {
+			for m := range one.Inds {
+				if one.Inds[m][e] != want.Inds[m][e] {
+					t.Fatalf("slice %d nonzero %d: index mismatch", ti, e)
+				}
+			}
+			if one.Vals[e] != want.Vals[e] {
+				t.Fatalf("slice %d nonzero %d: value mismatch", ti, e)
+			}
+		}
+	}
+	if _, err := GenerateSlice(cfg, -1); err == nil {
+		t.Fatal("negative slice accepted")
+	}
+	if _, err := GenerateSlice(cfg, cfg.T); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Package trace accumulates per-phase execution time for the CP-stream
+// solvers, mirroring the breakdown of paper Fig. 8 (Pre, Post, Update,
+// Inverse, MTTKRP, Gram, Historical, Error, Misc).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies one breakdown category.
+type Phase int
+
+// Phases in Fig. 8 order.
+const (
+	Pre Phase = iota
+	Post
+	Update
+	Inverse
+	MTTKRP
+	Gram
+	Historical
+	Error
+	Misc
+	numPhases
+)
+
+// NumPhases is the number of breakdown categories.
+const NumPhases = int(numPhases)
+
+var phaseNames = [...]string{"Pre", "Post", "Update", "Inverse", "MTTKRP", "Gram", "Historical", "Error", "Misc"}
+
+// String returns the phase name.
+func (p Phase) String() string {
+	if p < 0 || int(p) >= NumPhases {
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Breakdown accumulates wall time per phase plus an iteration count so
+// per-iteration figures can be derived.
+type Breakdown struct {
+	Times [NumPhases]time.Duration
+	Iters int
+}
+
+// Add accumulates d into phase p.
+func (b *Breakdown) Add(p Phase, d time.Duration) { b.Times[p] += d }
+
+// Time runs f and charges its wall time to phase p.
+func (b *Breakdown) Time(p Phase, f func()) {
+	start := time.Now()
+	f()
+	b.Times[p] += time.Since(start)
+}
+
+// Total returns the summed time across phases.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.Times {
+		t += d
+	}
+	return t
+}
+
+// PerIter returns phase times divided by the iteration count (total
+// times when Iters == 0).
+func (b *Breakdown) PerIter() [NumPhases]time.Duration {
+	out := b.Times
+	if b.Iters > 0 {
+		for i := range out {
+			out[i] /= time.Duration(b.Iters)
+		}
+	}
+	return out
+}
+
+// Merge adds other's times and iterations into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for i := range b.Times {
+		b.Times[i] += other.Times[i]
+	}
+	b.Iters += other.Iters
+}
+
+// Reset zeroes the breakdown.
+func (b *Breakdown) Reset() { *b = Breakdown{} }
+
+// String renders the breakdown as "Phase=dur" pairs.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i, d := range b.Times {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%v", Phase(i), d)
+	}
+	fmt.Fprintf(&sb, " iters=%d", b.Iters)
+	return sb.String()
+}

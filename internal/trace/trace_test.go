@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseNames(t *testing.T) {
+	want := []string{"Pre", "Post", "Update", "Inverse", "MTTKRP", "Gram", "Historical", "Error", "Misc"}
+	if NumPhases != len(want) {
+		t.Fatalf("NumPhases = %d", NumPhases)
+	}
+	for i, w := range want {
+		if Phase(i).String() != w {
+			t.Fatalf("phase %d = %s, want %s", i, Phase(i), w)
+		}
+	}
+	if !strings.Contains(Phase(99).String(), "99") {
+		t.Fatal("out-of-range phase should render its number")
+	}
+}
+
+func TestAddAndTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(MTTKRP, 10*time.Millisecond)
+	b.Add(Gram, 5*time.Millisecond)
+	b.Add(MTTKRP, 1*time.Millisecond)
+	if b.Times[MTTKRP] != 11*time.Millisecond {
+		t.Fatal("Add does not accumulate")
+	}
+	if b.Total() != 16*time.Millisecond {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}
+
+func TestTimeChargesPhase(t *testing.T) {
+	var b Breakdown
+	b.Time(Update, func() { time.Sleep(time.Millisecond) })
+	if b.Times[Update] < time.Millisecond {
+		t.Fatalf("Time recorded %v", b.Times[Update])
+	}
+}
+
+func TestPerIter(t *testing.T) {
+	var b Breakdown
+	b.Add(Error, 10*time.Millisecond)
+	b.Iters = 5
+	per := b.PerIter()
+	if per[Error] != 2*time.Millisecond {
+		t.Fatalf("PerIter = %v", per[Error])
+	}
+	// Zero iterations: totals returned unchanged.
+	var zero Breakdown
+	zero.Add(Error, 7*time.Millisecond)
+	if zero.PerIter()[Error] != 7*time.Millisecond {
+		t.Fatal("PerIter with 0 iters should return totals")
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	var a, b Breakdown
+	a.Add(Pre, time.Second)
+	a.Iters = 2
+	b.Add(Pre, time.Second)
+	b.Add(Post, time.Second)
+	b.Iters = 3
+	a.Merge(&b)
+	if a.Times[Pre] != 2*time.Second || a.Times[Post] != time.Second || a.Iters != 5 {
+		t.Fatalf("Merge wrong: %+v", a)
+	}
+	a.Reset()
+	if a.Total() != 0 || a.Iters != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestString(t *testing.T) {
+	var b Breakdown
+	b.Add(Misc, time.Millisecond)
+	s := b.String()
+	if !strings.Contains(s, "Misc=1ms") || !strings.Contains(s, "iters=0") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,207 @@
+// Package spstream is a high-performance streaming sparse tensor
+// decomposition library: a from-scratch Go implementation of the
+// CP-stream algorithm family from "High Performance Streaming Tensor
+// Decomposition" (Soh et al., IPDPS 2021), including the paper's two
+// contributions — the optimized constrained CP-stream (Blocked & Fused
+// ADMM + Hybrid Lock MTTKRP) and the new spCP-stream algorithm that
+// keeps untouched factor rows in K×K Gram form.
+//
+// # Quick start
+//
+//	stream, _ := spstream.GeneratePreset("nips", 0.1)
+//	dec, _ := spstream.New(stream.Dims, spstream.Options{
+//		Rank:      16,
+//		Algorithm: spstream.SpCPStream,
+//	})
+//	results, _ := dec.ProcessStream(stream.Source(), nil)
+//	factors := dec.Factor(0) // mode-0 factor matrix
+//	_ = results
+//
+// Slices can also come from FROSTT .tns files (LoadTNS + SplitStream)
+// or any custom SliceSource implementation.
+//
+// The decomposition state after t slices is the rank-K model
+// {A⁽¹⁾,…,A⁽ᴺ⁾, S} with S holding one temporal row per slice; slice t
+// is approximated by [[A⁽¹⁾,…,A⁽ᴺ⁾; sₜ]].
+package spstream
+
+import (
+	"io"
+	"os"
+
+	"spstream/internal/admm"
+	"spstream/internal/baselines"
+	"spstream/internal/core"
+	"spstream/internal/dense"
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+	"spstream/internal/trace"
+)
+
+// Re-exported core types. The facade keeps downstream users on one
+// import path while the implementation lives in internal packages.
+type (
+	// Options configures a Decomposer; see the field docs in
+	// internal/core.Options.
+	Options = core.Options
+	// Algorithm selects the solver variant.
+	Algorithm = core.Algorithm
+	// SliceResult reports per-slice outcomes.
+	SliceResult = core.SliceResult
+	// Decomposer is the streaming decomposition engine.
+	Decomposer = core.Decomposer
+	// Tensor is an N-way sparse tensor in coordinate format.
+	Tensor = sptensor.Tensor
+	// Stream is an ordered sequence of time slices.
+	Stream = sptensor.Stream
+	// SliceSource yields time slices one at a time.
+	SliceSource = sptensor.SliceSource
+	// Matrix is a dense row-major matrix.
+	Matrix = dense.Matrix
+	// Breakdown is the per-phase timing accumulator (Fig. 8 categories).
+	Breakdown = trace.Breakdown
+	// Constraint is a factor-matrix constraint for ADMM.
+	Constraint = admm.Constraint
+	// SynthConfig describes a synthetic streaming tensor.
+	SynthConfig = synth.Config
+	// ChannelSource adapts a channel of slices to SliceSource (live
+	// ingestion).
+	ChannelSource = sptensor.ChannelSource
+	// WindowAccumulator turns an event feed into fixed-size slices.
+	WindowAccumulator = sptensor.WindowAccumulator
+	// Event is one timestamped nonzero for the window accumulator.
+	Event = sptensor.Event
+)
+
+// NewChannelSource wraps a channel of slices with the given mode
+// lengths.
+func NewChannelSource(dims []int, ch <-chan *Tensor) *ChannelSource {
+	return sptensor.NewChannelSource(dims, ch)
+}
+
+// NewWindowAccumulator creates an accumulator emitting one coalesced
+// slice every windowEvents events.
+func NewWindowAccumulator(dims []int, windowEvents int) *WindowAccumulator {
+	return sptensor.NewWindowAccumulator(dims, windowEvents)
+}
+
+// Algorithm variants.
+const (
+	// Baseline is the unoptimized CP-stream reference implementation.
+	Baseline = core.Baseline
+	// Optimized is CP-stream with the paper's kernel optimizations.
+	Optimized = core.Optimized
+	// SpCPStream is the paper's new Gram-form algorithm
+	// (non-constrained problems only).
+	SpCPStream = core.SpCPStream
+)
+
+// NonNeg returns the non-negativity constraint for constrained runs.
+func NonNeg() Constraint { return admm.NonNeg{} }
+
+// L1 returns the sparsity (soft-threshold) constraint with weight
+// lambda.
+func L1(lambda float64) Constraint { return admm.L1{Lambda: lambda} }
+
+// NonNegMaxColNorm returns non-negativity with a column-norm cap r.
+func NonNegMaxColNorm(r float64) Constraint { return admm.NonNegMaxColNorm{R: r} }
+
+// New creates a streaming decomposer for slices with the given mode
+// lengths.
+func New(dims []int, opt Options) (*Decomposer, error) {
+	return core.NewDecomposer(dims, opt)
+}
+
+// Related-work comparators (paper §II), exposed for benchmarking and
+// the comparison example.
+type (
+	// OnlineCP is the accumulation-based streaming method of Zhou et
+	// al. (KDD'16), adapted to sparse slices.
+	OnlineCP = baselines.OnlineCP
+	// OnlineSGD is the stochastic-gradient streaming method of Mardani
+	// et al. (TSP'15).
+	OnlineSGD = baselines.OnlineSGD
+)
+
+// NewOnlineCP creates an OnlineCP comparator.
+func NewOnlineCP(dims []int, rank, workers int, seed uint64) (*OnlineCP, error) {
+	return baselines.NewOnlineCP(dims, rank, workers, seed)
+}
+
+// NewOnlineSGD creates an Online-SGD comparator.
+func NewOnlineSGD(dims []int, rank, workers int, seed uint64) (*OnlineSGD, error) {
+	return baselines.NewOnlineSGD(dims, rank, workers, seed)
+}
+
+// NewTensor allocates an empty sparse tensor with the given mode
+// lengths.
+func NewTensor(dims ...int) *Tensor { return sptensor.New(dims...) }
+
+// LoadTNS reads a FROSTT .tns file from disk.
+func LoadTNS(path string) (*Tensor, error) { return sptensor.ReadTNSFile(path) }
+
+// ReadTNS parses FROSTT .tns text from a reader; dims may be nil to
+// infer mode lengths from the data.
+func ReadTNS(r io.Reader, dims []int) (*Tensor, error) { return sptensor.ReadTNS(r, dims) }
+
+// SaveTNS writes a tensor in FROSTT .tns format.
+func SaveTNS(path string, t *Tensor) error { return sptensor.WriteTNSFile(path, t) }
+
+// SplitStream partitions an (N+1)-way tensor along streamMode into a
+// stream of N-way time slices.
+func SplitStream(t *Tensor, streamMode int) (*Stream, error) { return sptensor.Split(t, streamMode) }
+
+// Generate materializes a synthetic stream from a SynthConfig.
+func Generate(cfg SynthConfig) (*Stream, error) { return synth.Generate(cfg) }
+
+// GeneratePreset materializes one of the built-in dataset analogues
+// ("patents", "flickr", "uber", "nips") at the given scale (1 =
+// benchmark size, 0.05 ≈ test size).
+func GeneratePreset(name string, scale float64) (*Stream, error) {
+	cfg, err := synth.Preset(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Generate(cfg)
+}
+
+// PresetNames lists the built-in dataset analogues.
+func PresetNames() []string { return synth.PresetNames() }
+
+// WriteFactorsTNS is a small convenience that dumps every factor matrix
+// of a decomposer to w as whitespace-separated text (one matrix after
+// another, blank-line separated), for downstream analysis tools.
+func WriteFactorsTNS(w io.Writer, d *Decomposer) error {
+	for m := 0; m < len(d.Dims()); m++ {
+		f := d.Factor(m)
+		for i := 0; i < f.Rows; i++ {
+			row := f.Row(i)
+			for j, v := range row {
+				sep := " "
+				if j == len(row)-1 {
+					sep = "\n"
+				}
+				if _, err := io.WriteString(w, formatFloat(v)+sep); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveFactors writes WriteFactorsTNS output to a file.
+func SaveFactors(path string, d *Decomposer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFactorsTNS(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
