@@ -424,18 +424,19 @@ func itoa(v int) string {
 	return string(buf[i:])
 }
 
-// BenchmarkAblationSortedMTTKRP compares the CSF-style sorted-segment
-// kernel (related work [14]–[16]) against the lock-based and hybrid
-// kernels on the same slice (sort cost excluded, as it is amortized
-// over inner iterations).
-func BenchmarkAblationSortedMTTKRP(b *testing.B) {
+// BenchmarkAblationPlanMTTKRP compares the per-slice compiled plan
+// kernel against the lock-based and hybrid kernels on the same slice
+// (plan construction excluded, as it is amortized over the inner
+// iterations; see BenchmarkPlanVsLockInnerIters in internal/mttkrp for
+// the amortized comparison including build cost).
+func BenchmarkAblationPlanMTTKRP(b *testing.B) {
 	s := benchStream(b, "nips")
 	x := s.Slices[s.T()/2]
 	factors := benchFactors(s.Dims, 16)
 	mode := 2 // the long, skewed word mode
-	sorted := mttkrp.SortForMode(x, mode)
 	out := dense.NewMatrix(s.Dims[mode], 16)
 	c := mttkrp.NewComputer(0)
+	plan := c.NewPlan(x)
 	b.Run("lock", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			c.Lock(out, x, factors, mode)
@@ -446,9 +447,9 @@ func BenchmarkAblationSortedMTTKRP(b *testing.B) {
 			c.Hybrid(out, x, factors, mode)
 		}
 	})
-	b.Run("sorted", func(b *testing.B) {
+	b.Run("plan", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			c.SortedMTTKRP(out, sorted, factors)
+			c.PlanMTTKRP(out, plan, factors, mode)
 		}
 	})
 }

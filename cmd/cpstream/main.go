@@ -17,11 +17,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"spstream"
 	"spstream/internal/trace"
 )
+
+// stopCPUProfile flushes an in-flight CPU profile; fatal() must call it
+// because os.Exit skips deferred functions.
+var stopCPUProfile func()
 
 func main() {
 	var (
@@ -44,8 +49,26 @@ func main() {
 		factorsOut = flag.String("factors", "", "write final factor matrices to this file")
 		checkpoint = flag.String("checkpoint", "", "write the decomposer state to this file after the run")
 		resume     = flag.String("resume", "", "restore the decomposer state from this file before processing")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopCPUProfile()
+	}
 
 	stream, err := loadStream(*input, *streamMode, *preset, *scale)
 	if err != nil {
@@ -168,6 +191,21 @@ func main() {
 		}
 		fmt.Printf("checkpoint written to %s\n", *checkpoint)
 	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("heap profile written to %s\n", *memprofile)
+	}
 }
 
 func loadStream(input string, streamMode int, preset string, scale float64) (*spstream.Stream, error) {
@@ -191,6 +229,9 @@ func loadStream(input string, streamMode int, preset string, scale float64) (*sp
 }
 
 func fatal(err error) {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+	}
 	fmt.Fprintln(os.Stderr, "cpstream:", err)
 	os.Exit(1)
 }

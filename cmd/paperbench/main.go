@@ -24,20 +24,56 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fitlog, crossover, calibrate")
-		mode    = flag.String("mode", "model", "model (paper-testbed performance model) or measure (wall clock on this host)")
-		scale   = flag.Float64("scale", 0.3, "synthetic dataset scale (1 = benchmark size)")
-		rank    = flag.Int("rank", 16, "decomposition rank for table1")
-		slices  = flag.Int("slices", 4, "slices to run per measurement")
-		maxProc = flag.Int("maxworkers", 0, "cap for the measured worker sweep (0 = GOMAXPROCS)")
-		csvDir  = flag.String("csv", "", "also write raw per-experiment series as CSV files into this directory (model mode)")
+		exp        = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fitlog, crossover, calibrate")
+		mode       = flag.String("mode", "model", "model (paper-testbed performance model) or measure (wall clock on this host)")
+		scale      = flag.Float64("scale", 0.3, "synthetic dataset scale (1 = benchmark size)")
+		rank       = flag.Int("rank", 16, "decomposition rank for table1")
+		slices     = flag.Int("slices", 4, "slices to run per measurement")
+		maxProc    = flag.Int("maxworkers", 0, "cap for the measured worker sweep (0 = GOMAXPROCS)")
+		csvDir     = flag.String("csv", "", "also write raw per-experiment series as CSV files into this directory (model mode)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (useful with -mode measure)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	writeMemProfile := func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+		}
+		f.Close()
+	}
 
 	h := &harness{
 		mode:       *mode,
@@ -85,8 +121,11 @@ func main() {
 	}
 	for _, name := range run {
 		if err := experiments[name](); err != nil {
+			stopProfiles()
 			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
+	stopProfiles()
+	writeMemProfile()
 }

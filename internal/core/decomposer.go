@@ -7,6 +7,7 @@ import (
 	"spstream/internal/admm"
 	"spstream/internal/dense"
 	"spstream/internal/mttkrp"
+	"spstream/internal/parallel"
 	"spstream/internal/sptensor"
 	"spstream/internal/synth"
 	"spstream/internal/trace"
@@ -37,14 +38,31 @@ type Decomposer struct {
 
 	// Kernels and workspaces.
 	psi    []*dense.Matrix // Ψ workspace for the explicit algorithms
-	nzPsi  *dense.Matrix   // Ψ_nz workspace for spCP-stream
+	nzPsi  []*dense.Matrix // per-mode Ψ_nz workspaces for spCP-stream
 	mt     *mttkrp.Computer
 	solver *admm.Solver
 	bd     trace.Breakdown
 	rng    *synth.RNG
+	pool   *parallel.Pool
 
 	// Scratch K×K matrices reused across iterations.
 	muG, phiS, sPhi, scratch1, scratch2 *dense.Matrix
+
+	// Reusable Cholesky factorization of the per-mode Φ (and the sₜ Φ).
+	chol dense.Cholesky
+
+	// Reusable column-scale buffer for normalization.
+	colScale []float64
+
+	// Reusable argument block for the ctx-style parallel helpers below.
+	pargs coreArgs
+}
+
+// coreArgs carries addMulAB/solveRows operands through the worker pool
+// without closures; owned by the Decomposer and cleared after each call.
+type coreArgs struct {
+	dst, a, b *dense.Matrix
+	chol      *dense.Cholesky
 }
 
 // NewDecomposer creates a decomposer for slices with the given mode
@@ -62,6 +80,7 @@ func NewDecomposer(dims []int, opt Options) (*Decomposer, error) {
 		k:    opt.Rank,
 		mt:   mttkrp.NewComputer(opt.Workers),
 		rng:  synth.NewRNG(opt.Seed),
+		pool: parallel.Default(),
 	}
 	d.solver = admm.NewSolver(admm.Options{
 		Workers:  opt.Workers,
@@ -87,6 +106,7 @@ func NewDecomposer(dims []int, opt Options) (*Decomposer, error) {
 	d.sPhi = dense.NewMatrix(k, k)
 	d.scratch1 = dense.NewMatrix(k, k)
 	d.scratch2 = dense.NewMatrix(k, k)
+	d.colScale = make([]float64, k)
 	for range dims {
 		d.cz = append(d.cz, dense.NewMatrix(k, k))
 	}
@@ -192,11 +212,10 @@ func (d *Decomposer) solveS(x *sptensor.Tensor, factors []*dense.Matrix, locked 
 	} else {
 		d.mt.TimeMode(d.s, x, factors)
 	}
-	chol, err := dense.Factor(phi)
-	if err != nil {
+	if err := d.chol.Factorize(phi); err != nil {
 		return fmt.Errorf("core: sₜ solve: %w", err)
 	}
-	chol.SolveVec(d.s)
+	d.chol.SolveVec(d.s)
 	return nil
 }
 
@@ -262,7 +281,7 @@ func (d *Decomposer) finishSlice() {
 // and their inverses, guarding dead columns, and absorbs λ into sₜ so
 // the model [[A…; s]] is unchanged by the rescaling.
 func (d *Decomposer) columnScales(m int) (inv []float64) {
-	inv = make([]float64, d.k)
+	inv = d.colScale
 	for j := 0; j < d.k; j++ {
 		v := d.c[m].At(j, j)
 		lambda := 1.0

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"spstream/internal/csf"
 	"spstream/internal/dense"
@@ -12,152 +13,189 @@ import (
 	"spstream/internal/trace"
 )
 
+// explicitRun holds the per-slice state of Algorithm 1 between the
+// begin/iterate/finish phases. Splitting the slice loop this way keeps
+// every per-slice artifact (MTTKRP plan, CSF forest, convergence state)
+// out of the Decomposer while letting tests drive — and measure — a
+// single steady-state inner iteration in isolation.
+type explicitRun struct {
+	x         *sptensor.Tensor
+	plan      *mttkrp.Plan
+	forest    *csf.Forest
+	optimized bool
+	deltaPrev float64
+	res       SliceResult
+}
+
 // processSliceExplicit runs one time slice of Algorithm 1 with explicit
 // factor matrices — the Baseline and Optimized variants. The two differ
-// only in kernel choice: Lock vs Hybrid MTTKRP, single-lock vs
+// in kernel choice: Lock vs plan-based segmented MTTKRP, single-lock vs
 // thread-local streaming-mode update, and Algorithm 2 vs Algorithm 3
 // ADMM for constrained problems.
 func (d *Decomposer) processSliceExplicit(x *sptensor.Tensor) (SliceResult, error) {
-	res := SliceResult{T: d.t, NNZ: x.NNZ(), Fit: math.NaN()}
-	optimized := d.opt.Algorithm != Baseline
-	var err error
+	run, err := d.beginExplicit(x)
+	if err != nil {
+		return run.res, err
+	}
+	for iter := 1; iter <= d.opt.MaxIters; iter++ {
+		converged, err := d.iterateExplicit(run)
+		if err != nil {
+			return run.res, err
+		}
+		if converged {
+			run.res.Converged = true
+			break
+		}
+	}
+	return d.finishExplicit(run), nil
+}
 
-	// Pre: snapshot A_{t-1} and C_{t-1}, seed H = C (A == A_{t-1} at the
-	// start of the inner loop), solve the closed-form sₜ update, and —
-	// with the SortedMTTKRP extension — build the per-mode sorted views
-	// (amortized over the inner iterations).
-	var sorted []*mttkrp.Sorted
-	var forest *csf.Forest
+// beginExplicit performs the per-slice Pre work: snapshot A_{t-1} and
+// C_{t-1}, seed H = C (A == A_{t-1} at the start of the inner loop),
+// compile the per-slice MTTKRP layout (plan for Optimized, CSF forest
+// under the CSFMTTKRP extension — both amortized over the inner
+// iterations), and solve the closed-form sₜ warm start.
+func (d *Decomposer) beginExplicit(x *sptensor.Tensor) (*explicitRun, error) {
+	run := &explicitRun{
+		x:         x,
+		optimized: d.opt.Algorithm != Baseline,
+		deltaPrev: math.Inf(1),
+		res:       SliceResult{T: d.t, NNZ: x.NNZ(), Fit: math.NaN()},
+	}
+	var err error
 	d.bd.Time(trace.Pre, func() {
 		for m := range d.a {
 			d.prevA[m].CopyFrom(d.a[m])
 			d.cPrev[m].CopyFrom(d.c[m])
 			d.h[m].CopyFrom(d.c[m])
 		}
-		if d.opt.SortedMTTKRP {
-			sorted = make([]*mttkrp.Sorted, d.n)
-			for m := range sorted {
-				sorted[m] = mttkrp.SortForMode(x, m)
-			}
-		}
-		if d.opt.CSFMTTKRP {
-			forest, err = csf.NewForest(x)
+		switch {
+		case d.opt.CSFMTTKRP:
+			run.forest, err = csf.NewForest(x)
+		case run.optimized:
+			run.plan = d.mt.NewPlan(x)
 		}
 		if err == nil {
-			err = d.solveS(x, d.a, !optimized)
+			err = d.solveS(x, d.a, !run.optimized)
 		}
 	})
 	if err != nil {
-		return res, err
+		return run, err
 	}
 	d.bd.Time(trace.Misc, d.buildMuG)
-
 	d.ensurePsi()
+	return run, nil
+}
+
+// iterateExplicit runs one inner ALS/ADMM iteration (all modes plus the
+// time-mode block) and reports convergence. This is the steady-state hot
+// path: all parallel work dispatches ctx-style through the persistent
+// pool, timing uses explicit Add calls, and the Φ factorization reuses
+// the Decomposer's Cholesky storage — zero heap allocations per call.
+func (d *Decomposer) iterateExplicit(run *explicitRun) (bool, error) {
+	run.res.Iters++
+	d.bd.Iters++
 	phi := d.scratch1
 	q := d.scratch2
-	deltaPrev := math.Inf(1)
-	for iter := 1; iter <= d.opt.MaxIters; iter++ {
-		res.Iters = iter
-		d.bd.Iters++
-		for n := 0; n < d.n; n++ {
-			// Ψ⁽ⁿ⁾ = MTTKRP(Xₜ, {A}, n)·diag(sₜ) — the slice's time mode
-			// contributes the single Khatri-Rao row sₜ, which (all
-			// nonzeros sharing one time index) reduces to a column
-			// scaling of the N-way MTTKRP …
-			d.bd.Time(trace.MTTKRP, func() {
-				switch {
-				case forest != nil:
-					forest.MTTKRP(d.psi[n], d.a, n, d.opt.Workers)
-				case sorted != nil:
-					d.mt.SortedMTTKRP(d.psi[n], sorted[n], d.a)
-				case optimized:
-					d.mt.Hybrid(d.psi[n], x, d.a, n)
-				default:
-					d.mt.Lock(d.psi[n], x, d.a, n)
-				}
-				dense.ScaleColumns(d.psi[n], d.psi[n], d.s)
-			})
-			// … + A⁽ⁿ⁾ₜ₋₁ ((⊛_{v≠n} H⁽ᵛ⁾) ⊛ µG): the "Historical" term,
-			// an Iₙ×K by K×K product against the full previous factor.
-			d.bd.Time(trace.Historical, func() {
-				d.buildQ(q, n)
-				addMulAB(d.psi[n], d.prevA[n], q, d.opt.Workers)
-			})
-			// Φ⁽ⁿ⁾ and its Cholesky factorization.
-			var chol *dense.Cholesky
-			d.bd.Time(trace.Inverse, func() {
-				d.buildPhi(phi, n)
-				chol, err = dense.Factor(phi)
-			})
-			if err != nil {
-				return res, fmt.Errorf("core: mode %d Φ factorization: %w", n, err)
-			}
-			// A⁽ⁿ⁾ update: direct solve (non-constrained) or ADMM.
-			d.bd.Time(trace.Update, func() {
-				if d.opt.Constraint == nil {
-					solveRowsParallel(d.a[n], d.psi[n], chol, d.opt.Workers)
-					return
-				}
-				if optimized {
-					st, e := d.solver.BlockedFused(d.a[n], phi, d.psi[n], d.opt.Constraint)
-					res.ADMMIters += st.Iters
-					err = e
-				} else {
-					st, e := d.solver.Baseline(d.a[n], phi, d.psi[n], d.opt.Constraint)
-					res.ADMMIters += st.Iters
-					err = e
-				}
-			})
-			if err != nil {
-				return res, fmt.Errorf("core: mode %d ADMM: %w", n, err)
-			}
-			// Refresh the Gram matrices used by the other modes. The
-			// C⁽ⁿ⁾ refresh is "Gram" work; the H⁽ⁿ⁾ cross-Gram against
-			// A⁽ⁿ⁾ₜ₋₁ is part of the historical term (Fig. 8 accounting).
-			d.bd.Time(trace.Gram, func() {
-				dense.GramParallel(d.c[n], d.a[n], d.opt.Workers)
-			})
-			d.bd.Time(trace.Historical, func() {
-				dense.MulAtBParallel(d.h[n], d.prevA[n], d.a[n], d.opt.Workers)
-			})
-			if d.opt.Normalize {
-				d.bd.Time(trace.Misc, func() { d.normalizeModeExplicit(n) })
-			}
+	for n := 0; n < d.n; n++ {
+		// Ψ⁽ⁿ⁾ = MTTKRP(Xₜ, {A}, n)·diag(sₜ) — the slice's time mode
+		// contributes the single Khatri-Rao row sₜ, which (all nonzeros
+		// sharing one time index) reduces to a column scaling of the
+		// N-way MTTKRP …
+		t0 := time.Now()
+		switch {
+		case run.forest != nil:
+			run.forest.MTTKRP(d.psi[n], d.a, n, d.opt.Workers)
+		case run.plan != nil:
+			d.mt.PlanMTTKRP(d.psi[n], run.plan, d.a, n)
+		default:
+			d.mt.Lock(d.psi[n], run.x, d.a, n)
 		}
-		// Time-mode ALS block: refresh sₜ against the updated factors
-		// (the single-row MTTKRP that motivates the Hybrid Lock kernel)
-		// and with it the µG + ssᵀ Hadamard operand.
-		d.bd.Time(trace.MTTKRP, func() {
-			err = d.solveS(x, d.a, !optimized)
-		})
+		dense.ScaleColumns(d.psi[n], d.psi[n], d.s)
+		d.bd.Add(trace.MTTKRP, time.Since(t0))
+		// … + A⁽ⁿ⁾ₜ₋₁ ((⊛_{v≠n} H⁽ᵛ⁾) ⊛ µG): the "Historical" term, an
+		// Iₙ×K by K×K product against the full previous factor.
+		t0 = time.Now()
+		d.buildQ(q, n)
+		d.addMulAB(d.psi[n], d.prevA[n], q)
+		d.bd.Add(trace.Historical, time.Since(t0))
+		// Φ⁽ⁿ⁾ and its Cholesky factorization.
+		t0 = time.Now()
+		d.buildPhi(phi, n)
+		err := d.chol.Factorize(phi)
+		d.bd.Add(trace.Inverse, time.Since(t0))
 		if err != nil {
-			return res, err
+			return false, fmt.Errorf("core: mode %d Φ factorization: %w", n, err)
 		}
-		d.bd.Time(trace.Misc, d.buildMuG)
-		// δₜ = Σ_n ‖A⁽ⁿ⁾−A⁽ⁿ⁾ₜ₋₁‖_F / ‖A⁽ⁿ⁾‖_F (Eq. 15).
-		var delta float64
-		d.bd.Time(trace.Error, func() {
-			for n := 0; n < d.n; n++ {
-				num := dense.ParallelFrobNorm2Diff(d.a[n], d.prevA[n], d.opt.Workers)
-				den := dense.FrobNorm2(d.a[n])
-				if den > 0 {
-					delta += math.Sqrt(num / den)
-				}
-			}
-		})
-		res.Delta = delta
-		if math.Abs(delta-deltaPrev) < d.opt.Tol {
-			res.Converged = true
-			break
+		// A⁽ⁿ⁾ update: direct solve (non-constrained) or ADMM.
+		t0 = time.Now()
+		if d.opt.Constraint == nil {
+			d.solveRows(d.a[n], d.psi[n], &d.chol)
+		} else if run.optimized {
+			st, e := d.solver.BlockedFused(d.a[n], phi, d.psi[n], d.opt.Constraint)
+			run.res.ADMMIters += st.Iters
+			err = e
+		} else {
+			st, e := d.solver.Baseline(d.a[n], phi, d.psi[n], d.opt.Constraint)
+			run.res.ADMMIters += st.Iters
+			err = e
 		}
-		deltaPrev = delta
+		d.bd.Add(trace.Update, time.Since(t0))
+		if err != nil {
+			return false, fmt.Errorf("core: mode %d ADMM: %w", n, err)
+		}
+		// Refresh the Gram matrices used by the other modes. The C⁽ⁿ⁾
+		// refresh is "Gram" work; the H⁽ⁿ⁾ cross-Gram against A⁽ⁿ⁾ₜ₋₁ is
+		// part of the historical term (Fig. 8 accounting).
+		t0 = time.Now()
+		dense.GramParallel(d.c[n], d.a[n], d.opt.Workers)
+		d.bd.Add(trace.Gram, time.Since(t0))
+		t0 = time.Now()
+		dense.MulAtBParallel(d.h[n], d.prevA[n], d.a[n], d.opt.Workers)
+		d.bd.Add(trace.Historical, time.Since(t0))
+		if d.opt.Normalize {
+			t0 = time.Now()
+			d.normalizeModeExplicit(n)
+			d.bd.Add(trace.Misc, time.Since(t0))
+		}
 	}
+	// Time-mode ALS block: refresh sₜ against the updated factors (the
+	// single-row MTTKRP that motivates the Hybrid Lock kernel) and with
+	// it the µG + ssᵀ Hadamard operand.
+	t0 := time.Now()
+	err := d.solveS(run.x, d.a, !run.optimized)
+	d.bd.Add(trace.MTTKRP, time.Since(t0))
+	if err != nil {
+		return false, err
+	}
+	t0 = time.Now()
+	d.buildMuG()
+	d.bd.Add(trace.Misc, time.Since(t0))
+	// δₜ = Σ_n ‖A⁽ⁿ⁾−A⁽ⁿ⁾ₜ₋₁‖_F / ‖A⁽ⁿ⁾‖_F (Eq. 15).
+	t0 = time.Now()
+	var delta float64
+	for n := 0; n < d.n; n++ {
+		num := dense.ParallelFrobNorm2Diff(d.a[n], d.prevA[n], d.opt.Workers)
+		den := dense.FrobNorm2(d.a[n])
+		if den > 0 {
+			delta += math.Sqrt(num / den)
+		}
+	}
+	d.bd.Add(trace.Error, time.Since(t0))
+	run.res.Delta = delta
+	converged := math.Abs(delta-run.deltaPrev) < d.opt.Tol
+	run.deltaPrev = delta
+	return converged, nil
+}
 
+// finishExplicit performs the Post work (fit tracking, G/S temporal
+// update) and returns the slice result.
+func (d *Decomposer) finishExplicit(run *explicitRun) SliceResult {
 	if d.opt.TrackFit {
-		d.bd.Time(trace.Misc, func() { res.Fit = d.sliceFit(x) })
+		d.bd.Time(trace.Misc, func() { run.res.Fit = d.sliceFit(run.x) })
 	}
 	d.bd.Time(trace.Post, d.finishSlice)
-	return res, nil
+	return run.res
 }
 
 // ensurePsi lazily allocates the Ψ workspace (one Iₙ×K matrix per mode).
@@ -172,40 +210,54 @@ func (d *Decomposer) ensurePsi() {
 }
 
 // addMulAB computes dst += a·b with the row dimension parallelized
-// (a: I×K, b: K×K, dst: I×K).
-func addMulAB(dst, a, b *dense.Matrix, workers int) {
+// (a: I×K, b: K×K, dst: I×K). Allocation-free: the operands travel
+// through the Decomposer-owned argument block.
+func (d *Decomposer) addMulAB(dst, a, b *dense.Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("core: addMulAB shape mismatch")
 	}
-	n := b.Cols
-	parallel.For(a.Rows, workers, func(_ int, r parallel.Range) {
-		for i := r.Lo; i < r.Hi; i++ {
-			ra := a.Row(i)
-			rd := dst.Row(i)
-			for kk, av := range ra {
-				if av == 0 {
-					continue
-				}
-				rb := b.Data[kk*b.Stride : kk*b.Stride+n]
-				for j, bv := range rb {
-					rd[j] += av * bv
-				}
-			}
-		}
-	})
+	pa := &d.pargs
+	pa.dst, pa.a, pa.b = dst, a, b
+	d.pool.Do(a.Rows, d.opt.Workers, pa, addMulABBody)
+	*pa = coreArgs{}
 }
 
-// solveRowsParallel computes dst = rhs·Φ⁻¹ row by row using the shared
-// Cholesky factor, parallelized over rows.
-func solveRowsParallel(dst, rhs *dense.Matrix, chol *dense.Cholesky, workers int) {
-	if dst.Rows != rhs.Rows || dst.Cols != rhs.Cols {
-		panic("core: solveRowsParallel shape mismatch")
-	}
-	parallel.For(rhs.Rows, workers, func(_ int, r parallel.Range) {
-		for i := r.Lo; i < r.Hi; i++ {
-			row := dst.Row(i)
-			copy(row, rhs.Row(i))
-			chol.SolveVec(row)
+func addMulABBody(ctx any, _ int, r parallel.Range) {
+	pa := ctx.(*coreArgs)
+	a, b, dst := pa.a, pa.b, pa.dst
+	n := b.Cols
+	for i := r.Lo; i < r.Hi; i++ {
+		ra := a.Row(i)
+		rd := dst.Row(i)
+		for kk, av := range ra {
+			if av == 0 {
+				continue
+			}
+			rb := b.Data[kk*b.Stride : kk*b.Stride+n]
+			for j, bv := range rb {
+				rd[j] += av * bv
+			}
 		}
-	})
+	}
+}
+
+// solveRows computes dst = rhs·Φ⁻¹ row by row using the shared Cholesky
+// factor, parallelized over rows. Allocation-free like addMulAB.
+func (d *Decomposer) solveRows(dst, rhs *dense.Matrix, chol *dense.Cholesky) {
+	if dst.Rows != rhs.Rows || dst.Cols != rhs.Cols {
+		panic("core: solveRows shape mismatch")
+	}
+	pa := &d.pargs
+	pa.dst, pa.a, pa.chol = dst, rhs, chol
+	d.pool.Do(rhs.Rows, d.opt.Workers, pa, solveRowsBody)
+	*pa = coreArgs{}
+}
+
+func solveRowsBody(ctx any, _ int, r parallel.Range) {
+	pa := ctx.(*coreArgs)
+	for i := r.Lo; i < r.Hi; i++ {
+		row := pa.dst.Row(i)
+		copy(row, pa.a.Row(i))
+		pa.chol.SolveVec(row)
+	}
 }

@@ -96,17 +96,11 @@ type Options struct {
 	// most of their nz sets; exists for the ablation benchmark and as a
 	// numerical cross-check (spCP-stream only).
 	DirectCz bool
-	// SortedMTTKRP makes the explicit algorithms (Baseline/Optimized)
-	// use the sorted-segment MTTKRP kernel: each slice is sorted once
-	// per mode (amortized over the inner iterations) and updates become
-	// contention-free without thread-local copies. An extension in the
-	// direction of the paper's related work [14]–[16].
-	SortedMTTKRP bool
 	// CSFMTTKRP makes the explicit algorithms use the Compressed Sparse
 	// Fiber forest (SPLATT's format, related work [15]): one fiber tree
 	// per mode is built per slice and the MTTKRP reuses partial
-	// Khatri-Rao products along shared index prefixes. Mutually
-	// exclusive with SortedMTTKRP.
+	// Khatri-Rao products along shared index prefixes. It replaces the
+	// default per-slice segmented plan kernel (see mttkrp.Plan).
 	CSFMTTKRP bool
 	// ConstrainedSpCP enables the experimental constrained spCP-stream
 	// extension — the integration of ADMM into spCP-stream that the
@@ -166,9 +160,6 @@ func (o Options) Validate(dims []int) error {
 	}
 	if o.Mu < 0 || o.Mu > 1 {
 		return fmt.Errorf("core: forgetting factor µ=%g outside [0,1]", o.Mu)
-	}
-	if o.SortedMTTKRP && o.CSFMTTKRP {
-		return errors.New("core: SortedMTTKRP and CSFMTTKRP are mutually exclusive")
 	}
 	if o.Algorithm == SpCPStream && o.Constraint != nil {
 		if !o.ConstrainedSpCP {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"spstream/internal/dense"
 	"spstream/internal/mttkrp"
@@ -10,6 +11,22 @@ import (
 	"spstream/internal/sptensor"
 	"spstream/internal/trace"
 )
+
+// spcpRun holds the per-slice state of Algorithm 4 between the
+// begin/iterate/finish phases: the remapped slice, its compiled MTTKRP
+// plan, the gathered A_nz iterates, and the per-mode final transforms.
+type spcpRun struct {
+	x       *sptensor.Tensor
+	rm      *mttkrp.Remapped
+	plan    *mttkrp.Plan
+	aNzPrev []*dense.Matrix
+	aNz     []*dense.Matrix
+	tFinal  []*dense.Matrix
+	czCur   []*dense.Matrix
+	tmpKK   *dense.Matrix
+	deltaPrev float64
+	res       SliceResult
+}
 
 // processSliceSpCP runs one time slice of the paper's Algorithm 4
 // (spCP-stream). Factor rows are partitioned per mode into the nz(n)
@@ -21,14 +38,37 @@ import (
 // therefore costs O(nnz·K + |nz|·K² + K³) per mode instead of
 // O(nnz·K + Iₙ·K²) — the source of the 102× speedups on skewed tensors.
 func (d *Decomposer) processSliceSpCP(x *sptensor.Tensor) (SliceResult, error) {
-	res := SliceResult{T: d.t, NNZ: x.NNZ(), Fit: math.NaN()}
-	var err error
+	run, err := d.beginSpCP(x)
+	if err != nil {
+		return run.res, err
+	}
+	for iter := 1; iter <= d.opt.MaxIters; iter++ {
+		converged, err := d.iterateSpCP(run)
+		if err != nil {
+			return run.res, err
+		}
+		if converged {
+			run.res.Converged = true
+			break
+		}
+	}
+	return d.finishSpCP(run), nil
+}
 
-	// --- Pre: remap, nz bookkeeping, incremental C_z,t−1 -------------
-	var rm *mttkrp.Remapped
-	var aNzPrev, aNz []*dense.Matrix
+// beginSpCP performs the Pre work: remap, nz bookkeeping, incremental
+// C_z,t−1 maintenance, the A_nz gathers, the per-slice MTTKRP plan over
+// the remapped slice (amortized across all inner iterations), and the
+// sₜ warm start.
+func (d *Decomposer) beginSpCP(x *sptensor.Tensor) (*spcpRun, error) {
+	run := &spcpRun{
+		x:         x,
+		deltaPrev: math.Inf(1),
+		res:       SliceResult{T: d.t, NNZ: x.NNZ(), Fit: math.NaN()},
+	}
+	var err error
 	d.bd.Time(trace.Pre, func() {
-		rm = mttkrp.Remap(x)
+		run.rm = mttkrp.Remap(x)
+		rm := run.rm
 		if d.prevNZ == nil || d.opt.DirectCz {
 			// First slice (or the DirectCz ablation): C_z,t−1 =
 			// C − Gram(A_nz) from scratch.
@@ -58,151 +98,154 @@ func (d *Decomposer) processSliceSpCP(x *sptensor.Tensor) (SliceResult, error) {
 		}
 		// Gather A_nz,t−1 and initialize the iterate A_nz from it; seed
 		// the Gram state exactly like the explicit path.
-		aNzPrev = make([]*dense.Matrix, d.n)
-		aNz = make([]*dense.Matrix, d.n)
+		run.aNzPrev = make([]*dense.Matrix, d.n)
+		run.aNz = make([]*dense.Matrix, d.n)
+		run.tFinal = make([]*dense.Matrix, d.n)
+		run.czCur = make([]*dense.Matrix, d.n)
 		for m := range d.a {
-			aNzPrev[m] = gatherNZ(d.a[m], rm.NZ[m])
-			aNz[m] = aNzPrev[m].Clone()
+			run.aNzPrev[m] = gatherNZ(d.a[m], rm.NZ[m])
+			run.aNz[m] = run.aNzPrev[m].Clone()
+			run.tFinal[m] = dense.NewMatrix(d.k, d.k)
+			run.czCur[m] = dense.NewMatrix(d.k, d.k)
 			d.cPrev[m].CopyFrom(d.c[m])
 			d.h[m].CopyFrom(d.c[m])
 		}
+		run.tmpKK = dense.NewMatrix(d.k, d.k)
+		// Ψ_nz workspaces sized per mode (row counts differ across
+		// modes, so each mode owns its own buffer — resizing one shared
+		// buffer would allocate on every inner iteration).
+		d.ensureNzPsi(rm)
+		// The compiled MTTKRP layout over the remapped slice, reused by
+		// every A_nz update of the inner loop.
+		run.plan = d.mt.NewPlan(rm.X)
 		// sₜ update over the remapped slice and gathered prev factors
 		// (identical values, slice-local footprint).
-		err = d.solveS(rm.X, aNzPrev, false)
+		err = d.solveS(rm.X, run.aNzPrev, false)
 	})
 	if err != nil {
-		return res, err
+		return run, err
 	}
 	d.bd.Time(trace.Misc, d.buildMuG)
+	return run, nil
+}
 
-	// Per-mode final transform T⁽ⁿ⁾ = Q⁽ⁿ⁾(Φ⁽ⁿ⁾)⁻¹ of the last
-	// iteration, applied to the z rows in Post, and the per-iteration
-	// current C_z.
-	tFinal := make([]*dense.Matrix, d.n)
-	czCur := make([]*dense.Matrix, d.n)
-	for m := range tFinal {
-		tFinal[m] = dense.NewMatrix(d.k, d.k)
-		czCur[m] = dense.NewMatrix(d.k, d.k)
-	}
+// iterateSpCP runs one inner iteration of Algorithm 4 and reports
+// convergence. Steady-state allocation-free, like iterateExplicit.
+func (d *Decomposer) iterateSpCP(run *spcpRun) (bool, error) {
+	run.res.Iters++
+	d.bd.Iters++
 	phi := d.scratch1
 	q := d.scratch2
-	tmpKK := dense.NewMatrix(d.k, d.k)
-	deltaPrev := math.Inf(1)
-
-	for iter := 1; iter <= d.opt.MaxIters; iter++ {
-		res.Iters = iter
-		d.bd.Iters++
-		for n := 0; n < d.n; n++ {
-			// Q⁽ⁿ⁾ (Eq. 14) — Hadamard of K×K Grams, replacing the
-			// baseline's giant Historical matrix products.
-			d.bd.Time(trace.Historical, func() {
-				d.buildQ(q, n)
-			})
-			var chol *dense.Cholesky
-			d.bd.Time(trace.Inverse, func() {
-				d.buildPhi(phi, n)
-				chol, err = dense.Factor(phi)
-			})
-			if err != nil {
-				return res, fmt.Errorf("core: spcp mode %d Φ factorization: %w", n, err)
-			}
-			// A_nz update (Eq. 7): spMTTKRP over gathered factors plus
-			// the nz part of the historical term, then the Φ solve.
-			d.bd.Time(trace.MTTKRP, func() {
-				psi := d.ensureNzPsi(aNz[n].Rows)
-				d.mt.RowSparse(psi, rm, aNz, n)
-				// Column-scale by sₜ: the time mode's single Khatri-Rao
-				// row (see processSliceExplicit).
-				dense.ScaleColumns(psi, psi, d.s)
-			})
-			d.bd.Time(trace.Update, func() {
-				psi := d.nzPsi
-				addMulAB(psi, aNzPrev[n], q, d.opt.Workers)
-				if d.opt.Constraint == nil {
-					solveRowsParallel(aNz[n], psi, chol, d.opt.Workers)
-					return
-				}
-				// Experimental constrained extension (§VII): the nz
-				// rows are solved with BF-ADMM (warm-started from the
-				// previous iterate); the z rows stay linear and are
-				// projected once per slice in Post.
-				st, e := d.solver.BlockedFused(aNz[n], phi, psi, d.opt.Constraint)
-				res.ADMMIters += st.Iters
-				err = e
-			})
-			if err != nil {
-				return res, fmt.Errorf("core: spcp mode %d ADMM: %w", n, err)
-			}
-			// Gram refresh: C_nz from the explicit nz rows; the H_nz
-			// cross-Gram is historical-term work (Fig. 8 accounting) …
-			d.bd.Time(trace.Gram, func() {
-				dense.GramParallel(d.c[n], aNz[n], d.opt.Workers) // C_nz into c[n]
-			})
-			d.bd.Time(trace.Historical, func() {
-				dense.MulAtBParallel(d.h[n], aNzPrev[n], aNz[n], d.opt.Workers)
-			})
-			// … and the implicit z parts (Eqs. 11, 13): T = QΦ⁻¹,
-			// H_z = C_z,t−1·T, C_z = Tᵀ·C_z,t−1·T. All K×K.
-			d.bd.Time(trace.Historical, func() {
-				chol.SolveRowsInto(tFinal[n], q)
-				dense.MulAB(tmpKK, d.cz[n], tFinal[n]) // C_z,t−1·T
-				dense.Add(d.h[n], d.h[n], tmpKK)       // H = H_nz + H_z
-				dense.MulAtB(czCur[n], tFinal[n], tmpKK)
-				dense.Add(d.c[n], d.c[n], czCur[n]) // C = C_nz + C_z
-			})
-			if d.opt.Normalize {
-				d.bd.Time(trace.Misc, func() {
-					d.normalizeModeSpCP(n, aNz[n], tFinal[n], czCur[n])
-				})
-			}
-		}
-		// Time-mode ALS block: refresh sₜ over the remapped slice and
-		// the gathered current factors, then the µG + ssᵀ operand.
-		d.bd.Time(trace.MTTKRP, func() {
-			err = d.solveS(rm.X, aNz, false)
-		})
+	for n := 0; n < d.n; n++ {
+		// Q⁽ⁿ⁾ (Eq. 14) — Hadamard of K×K Grams, replacing the
+		// baseline's giant Historical matrix products.
+		t0 := time.Now()
+		d.buildQ(q, n)
+		d.bd.Add(trace.Historical, time.Since(t0))
+		t0 = time.Now()
+		d.buildPhi(phi, n)
+		err := d.chol.Factorize(phi)
+		d.bd.Add(trace.Inverse, time.Since(t0))
 		if err != nil {
-			return res, err
+			return false, fmt.Errorf("core: spcp mode %d Φ factorization: %w", n, err)
 		}
-		d.bd.Time(trace.Misc, d.buildMuG)
-		// Trace-form convergence (Eqs. 16–17):
-		// ‖A−Aₜ₋₁‖² = tr(C) + tr(Cₜ₋₁) − 2tr(H), ‖A‖² = tr(C).
-		var delta float64
-		d.bd.Time(trace.Error, func() {
-			for n := 0; n < d.n; n++ {
-				den := dense.Trace(d.c[n])
-				num := den + dense.Trace(d.cPrev[n]) - 2*dense.Trace(d.h[n])
-				if num < 0 {
-					num = 0 // floating-point cancellation guard
-				}
-				if den > 0 {
-					delta += math.Sqrt(num / den)
-				}
-			}
-		})
-		res.Delta = delta
-		if math.Abs(delta-deltaPrev) < d.opt.Tol {
-			res.Converged = true
-			break
+		// A_nz update (Eq. 7): plan-based spMTTKRP over gathered factors
+		// plus the nz part of the historical term, then the Φ solve.
+		t0 = time.Now()
+		psi := d.nzPsi[n]
+		d.mt.PlanMTTKRP(psi, run.plan, run.aNz, n)
+		// Column-scale by sₜ: the time mode's single Khatri-Rao row
+		// (see processSliceExplicit).
+		dense.ScaleColumns(psi, psi, d.s)
+		d.bd.Add(trace.MTTKRP, time.Since(t0))
+		t0 = time.Now()
+		d.addMulAB(psi, run.aNzPrev[n], q)
+		if d.opt.Constraint == nil {
+			d.solveRows(run.aNz[n], psi, &d.chol)
+		} else {
+			// Experimental constrained extension (§VII): the nz rows
+			// are solved with BF-ADMM (warm-started from the previous
+			// iterate); the z rows stay linear and are projected once
+			// per slice in Post.
+			st, e := d.solver.BlockedFused(run.aNz[n], phi, psi, d.opt.Constraint)
+			run.res.ADMMIters += st.Iters
+			err = e
 		}
-		deltaPrev = delta
+		d.bd.Add(trace.Update, time.Since(t0))
+		if err != nil {
+			return false, fmt.Errorf("core: spcp mode %d ADMM: %w", n, err)
+		}
+		// Gram refresh: C_nz from the explicit nz rows; the H_nz
+		// cross-Gram is historical-term work (Fig. 8 accounting) …
+		t0 = time.Now()
+		dense.GramParallel(d.c[n], run.aNz[n], d.opt.Workers) // C_nz into c[n]
+		d.bd.Add(trace.Gram, time.Since(t0))
+		t0 = time.Now()
+		dense.MulAtBParallel(d.h[n], run.aNzPrev[n], run.aNz[n], d.opt.Workers)
+		// … and the implicit z parts (Eqs. 11, 13): T = QΦ⁻¹,
+		// H_z = C_z,t−1·T, C_z = Tᵀ·C_z,t−1·T. All K×K.
+		d.chol.SolveRowsInto(run.tFinal[n], q)
+		dense.MulAB(run.tmpKK, d.cz[n], run.tFinal[n]) // C_z,t−1·T
+		dense.Add(d.h[n], d.h[n], run.tmpKK)           // H = H_nz + H_z
+		dense.MulAtB(run.czCur[n], run.tFinal[n], run.tmpKK)
+		dense.Add(d.c[n], d.c[n], run.czCur[n]) // C = C_nz + C_z
+		d.bd.Add(trace.Historical, time.Since(t0))
+		if d.opt.Normalize {
+			t0 = time.Now()
+			d.normalizeModeSpCP(n, run.aNz[n], run.tFinal[n], run.czCur[n])
+			d.bd.Add(trace.Misc, time.Since(t0))
+		}
 	}
+	// Time-mode ALS block: refresh sₜ over the remapped slice and the
+	// gathered current factors, then the µG + ssᵀ operand.
+	t0 := time.Now()
+	err := d.solveS(run.rm.X, run.aNz, false)
+	d.bd.Add(trace.MTTKRP, time.Since(t0))
+	if err != nil {
+		return false, err
+	}
+	t0 = time.Now()
+	d.buildMuG()
+	d.bd.Add(trace.Misc, time.Since(t0))
+	// Trace-form convergence (Eqs. 16–17):
+	// ‖A−Aₜ₋₁‖² = tr(C) + tr(Cₜ₋₁) − 2tr(H), ‖A‖² = tr(C).
+	t0 = time.Now()
+	var delta float64
+	for n := 0; n < d.n; n++ {
+		den := dense.Trace(d.c[n])
+		num := den + dense.Trace(d.cPrev[n]) - 2*dense.Trace(d.h[n])
+		if num < 0 {
+			num = 0 // floating-point cancellation guard
+		}
+		if den > 0 {
+			delta += math.Sqrt(num / den)
+		}
+	}
+	d.bd.Add(trace.Error, time.Since(t0))
+	run.res.Delta = delta
+	converged := math.Abs(delta-run.deltaPrev) < d.opt.Tol
+	run.deltaPrev = delta
+	return converged, nil
+}
 
-	// --- Post: materialize A = A_z ⊕ A_nz (Alg. 4 line 34) ------------
+// finishSpCP materializes A = A_z ⊕ A_nz (Alg. 4 line 34) and performs
+// the shared Post bookkeeping.
+func (d *Decomposer) finishSpCP(run *spcpRun) SliceResult {
+	rm := run.rm
 	d.bd.Time(trace.Post, func() {
 		for m := range d.a {
-			projected := d.applyZTransform(d.a[m], rm.NZ[m], tFinal[m])
-			rm.ScatterMode(d.a[m], aNz[m], m)
+			projected := d.applyZTransform(d.a[m], rm.NZ[m], run.tFinal[m])
+			rm.ScatterMode(d.a[m], run.aNz[m], m)
 			if projected {
 				// The z rows changed beyond the linear transform, so
 				// re-synchronize C_z (and with it C) from the
 				// materialized rows — one Gram pass per slice.
 				gramExcluding(d.cz[m], d.a[m], rm.NZ[m], d.opt.Workers)
 				gram := dense.NewMatrix(d.k, d.k)
-				dense.GramParallel(gram, aNz[m], d.opt.Workers)
+				dense.GramParallel(gram, run.aNz[m], d.opt.Workers)
 				dense.Add(d.c[m], d.cz[m], gram)
 			} else {
-				d.cz[m].CopyFrom(czCur[m])
+				d.cz[m].CopyFrom(run.czCur[m])
 			}
 		}
 		if d.prevNZ == nil {
@@ -210,20 +253,26 @@ func (d *Decomposer) processSliceSpCP(x *sptensor.Tensor) (SliceResult, error) {
 		}
 		copy(d.prevNZ, rm.NZ)
 	})
-
 	if d.opt.TrackFit {
-		d.bd.Time(trace.Misc, func() { res.Fit = d.sliceFit(x) })
+		d.bd.Time(trace.Misc, func() { run.res.Fit = d.sliceFit(run.x) })
 	}
 	d.bd.Time(trace.Post, d.finishSlice)
-	return res, nil
+	return run.res
 }
 
-// ensureNzPsi returns the Ψ_nz workspace with the requested row count.
-func (d *Decomposer) ensureNzPsi(rows int) *dense.Matrix {
-	if d.nzPsi == nil || d.nzPsi.Rows != rows || d.nzPsi.Cols != d.k {
-		d.nzPsi = dense.NewMatrix(rows, d.k)
+// ensureNzPsi sizes the per-mode Ψ_nz workspaces to the remapped
+// slice's nz row counts, reallocating only the modes whose count
+// changed since the previous slice.
+func (d *Decomposer) ensureNzPsi(rm *mttkrp.Remapped) {
+	if d.nzPsi == nil {
+		d.nzPsi = make([]*dense.Matrix, d.n)
 	}
-	return d.nzPsi
+	for m := range d.nzPsi {
+		rows := len(rm.NZ[m])
+		if d.nzPsi[m] == nil || d.nzPsi[m].Rows != rows || d.nzPsi[m].Cols != d.k {
+			d.nzPsi[m] = dense.NewMatrix(rows, d.k)
+		}
+	}
 }
 
 // applyZTransform updates every z row of the full factor in place:

@@ -22,11 +22,29 @@ type Cholesky struct {
 // Factor computes the Cholesky factorization of SPD matrix a (which is
 // not modified). It returns ErrNotSPD when a pivot is not positive.
 func Factor(a *Matrix) (*Cholesky, error) {
+	c := new(Cholesky)
+	if err := c.Factorize(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Factorize computes the factorization of a into the receiver, reusing
+// its existing storage when the dimension matches. This is the
+// allocation-free path for the per-iteration Φ factorizations of the
+// inner ALS loop; a is not modified. On error the receiver's previous
+// factor is invalid.
+func (c *Cholesky) Factorize(a *Matrix) error {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("dense: Cholesky of non-square %d×%d matrix", a.Rows, a.Cols)
+		return fmt.Errorf("dense: Cholesky of non-square %d×%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	l := a.Clone()
+	if c.l == nil || c.l.Rows != n || c.l.Cols != n {
+		c.l = NewMatrix(n, n)
+	}
+	c.n = n
+	l := c.l
+	l.CopyFrom(a)
 	for j := 0; j < n; j++ {
 		rowJ := l.Row(j)
 		d := rowJ[j]
@@ -34,7 +52,7 @@ func Factor(a *Matrix) (*Cholesky, error) {
 			d -= rowJ[p] * rowJ[p]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("%w (pivot %d = %g)", ErrNotSPD, j, d)
+			return fmt.Errorf("%w (pivot %d = %g)", ErrNotSPD, j, d)
 		}
 		d = math.Sqrt(d)
 		rowJ[j] = d
@@ -48,7 +66,7 @@ func Factor(a *Matrix) (*Cholesky, error) {
 			rowI[j] = s * inv
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	return nil
 }
 
 // FactorRidge factors a + ridge·I without modifying a. CP-stream uses

@@ -1,6 +1,10 @@
 package dense
 
-import "spstream/internal/parallel"
+import (
+	"sync"
+
+	"spstream/internal/parallel"
+)
 
 // The products below cover the shapes CP-stream needs:
 //
@@ -10,70 +14,140 @@ import "spstream/internal/parallel"
 //   Gram    C = Aᵀ·A       (I×K) → K×K         SYRK-style symmetric Gram
 //
 // The long dimension (rows of A) is blocked and parallelized; the K×K
-// inner kernels stay dense and sequential.
+// inner kernels stay dense and sequential. Serial entry points run the
+// row kernels directly; parallel ones dispatch ctx-style through the
+// persistent default pool with argument blocks drawn from a free list,
+// so steady-state calls allocate nothing either way.
+
+// gemmArgs carries one parallel product's operands through the pool
+// without a closure. Recycled via a free list.
+type gemmArgs struct {
+	dst, a, b *Matrix
+}
+
+var gemmArgsPool struct {
+	sync.Mutex
+	free []*gemmArgs
+}
+
+func getGemmArgs(dst, a, b *Matrix) *gemmArgs {
+	gemmArgsPool.Lock()
+	var g *gemmArgs
+	if n := len(gemmArgsPool.free); n > 0 {
+		g = gemmArgsPool.free[n-1]
+		gemmArgsPool.free = gemmArgsPool.free[:n-1]
+		gemmArgsPool.Unlock()
+	} else {
+		gemmArgsPool.Unlock()
+		g = new(gemmArgs)
+	}
+	g.dst, g.a, g.b = dst, a, b
+	return g
+}
+
+func putGemmArgs(g *gemmArgs) {
+	g.dst, g.a, g.b = nil, nil, nil
+	gemmArgsPool.Lock()
+	gemmArgsPool.free = append(gemmArgsPool.free, g)
+	gemmArgsPool.Unlock()
+}
 
 // MulAB computes dst = a·b where a is m×k and b is k×n. dst must be m×n
 // and must not alias a or b.
-func MulAB(dst, a, b *Matrix) { MulABParallel(dst, a, b, 1) }
+func MulAB(dst, a, b *Matrix) {
+	checkMulAB(dst, a, b)
+	mulABRange(dst, a, b, 0, a.Rows)
+}
+
+func checkMulAB(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("dense: MulAB shape mismatch")
+	}
+}
+
+func mulABRange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		ra := a.Row(i)
+		rd := dst.Row(i)
+		for j := range rd {
+			rd[j] = 0
+		}
+		// k-outer loop: stream rows of b, accumulate into rd.
+		for kk, av := range ra {
+			if av == 0 {
+				continue
+			}
+			rb := b.Data[kk*b.Stride : kk*b.Stride+n]
+			for j, bv := range rb {
+				rd[j] += av * bv
+			}
+		}
+	}
+}
+
+func mulABBody(ctx any, _ int, r parallel.Range) {
+	g := ctx.(*gemmArgs)
+	mulABRange(g.dst, g.a, g.b, r.Lo, r.Hi)
+}
 
 // MulABParallel is MulAB with the row dimension parallelized over the
 // given number of workers.
 func MulABParallel(dst, a, b *Matrix, workers int) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic("dense: MulAB shape mismatch")
+	checkMulAB(dst, a, b)
+	if workers == 1 || a.Rows <= 1 {
+		mulABRange(dst, a, b, 0, a.Rows)
+		return
 	}
-	n := b.Cols
-	parallel.For(a.Rows, workers, func(_ int, r parallel.Range) {
-		for i := r.Lo; i < r.Hi; i++ {
-			ra := a.Row(i)
-			rd := dst.Row(i)
-			for j := range rd {
-				rd[j] = 0
-			}
-			// k-outer loop: stream rows of b, accumulate into rd.
-			for kk, av := range ra {
-				if av == 0 {
-					continue
-				}
-				rb := b.Data[kk*b.Stride : kk*b.Stride+n]
-				for j, bv := range rb {
-					rd[j] += av * bv
-				}
-			}
-		}
-	})
+	g := getGemmArgs(dst, a, b)
+	parallel.Default().Do(a.Rows, workers, g, mulABBody)
+	putGemmArgs(g)
 }
 
 // MulAtB computes dst = aᵀ·b where a is m×ka and b is m×kb; dst must be
-// ka×kb and must not alias a or b. Parallelized over row blocks of the
-// shared m dimension with per-worker partial accumulators reduced in
-// worker order (deterministic).
-func MulAtB(dst, a, b *Matrix) { MulAtBParallel(dst, a, b, 1) }
+// ka×kb and must not alias a or b.
+func MulAtB(dst, a, b *Matrix) {
+	checkMulAtB(dst, a, b)
+	dst.Zero()
+	mulAtBRange(dst, a, b, 0, a.Rows)
+}
 
-// MulAtBParallel is MulAtB parallelized over the shared row dimension.
-func MulAtBParallel(dst, a, b *Matrix, workers int) {
+func checkMulAtB(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("dense: MulAtB shape mismatch")
 	}
-	ka, kb := a.Cols, b.Cols
-	ranges := parallel.Partition(a.Rows, workers)
-	if len(ranges) <= 1 {
+}
+
+func mulAtBBody(ctx any, _ int, r parallel.Range, acc []float64) {
+	g := ctx.(*gemmArgs)
+	kb := g.b.Cols
+	for i := r.Lo; i < r.Hi; i++ {
+		ra, rb := g.a.Row(i), g.b.Row(i)
+		for p, av := range ra {
+			if av == 0 {
+				continue
+			}
+			row := acc[p*kb : p*kb+kb]
+			for q, bv := range rb {
+				row[q] += av * bv
+			}
+		}
+	}
+}
+
+// MulAtBParallel is MulAtB parallelized over the shared row dimension
+// with per-worker partial accumulators reduced in worker order
+// (deterministic for a fixed worker count).
+func MulAtBParallel(dst, a, b *Matrix, workers int) {
+	checkMulAtB(dst, a, b)
+	if workers == 1 || a.Rows <= 1 || dst.Stride != dst.Cols {
 		dst.Zero()
 		mulAtBRange(dst, a, b, 0, a.Rows)
 		return
 	}
-	partials := make([]*Matrix, len(ranges))
-	parallel.For(len(ranges), len(ranges), func(w int, r parallel.Range) {
-		for t := r.Lo; t < r.Hi; t++ {
-			p := NewMatrix(ka, kb)
-			mulAtBRange(p, a, b, ranges[t].Lo, ranges[t].Hi)
-			partials[t] = p
-		}
-	})
-	dst.Zero()
-	for _, p := range partials {
-		AXPY(dst, 1, p)
-	}
+	g := getGemmArgs(dst, a, b)
+	parallel.Default().DoReduceVecInto(dst.Data[:dst.Rows*dst.Cols], a.Rows, workers, g, mulAtBBody)
+	putGemmArgs(g)
 }
 
 // mulAtBRange accumulates aᵀb over rows [lo,hi) into dst (+=).
@@ -95,71 +169,102 @@ func mulAtBRange(dst, a, b *Matrix, lo, hi int) {
 
 // MulABt computes dst = a·bᵀ where a is m×k and b is n×k; dst must be m×n
 // and must not alias a or b.
-func MulABt(dst, a, b *Matrix) { MulABtParallel(dst, a, b, 1) }
+func MulABt(dst, a, b *Matrix) {
+	checkMulABt(dst, a, b)
+	mulABtRange(dst, a, b, 0, a.Rows)
+}
 
-// MulABtParallel is MulABt with the row dimension parallelized.
-func MulABtParallel(dst, a, b *Matrix, workers int) {
+func checkMulABt(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("dense: MulABt shape mismatch")
 	}
-	parallel.For(a.Rows, workers, func(_ int, r parallel.Range) {
-		for i := r.Lo; i < r.Hi; i++ {
-			ra := a.Row(i)
-			rd := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				rb := b.Row(j)
-				sum := 0.0
-				for p, av := range ra {
-					sum += av * rb[p]
-				}
-				rd[j] = sum
+}
+
+func mulABtRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ra := a.Row(i)
+		rd := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			rb := b.Row(j)
+			sum := 0.0
+			for p, av := range ra {
+				sum += av * rb[p]
 			}
+			rd[j] = sum
 		}
-	})
+	}
+}
+
+func mulABtBody(ctx any, _ int, r parallel.Range) {
+	g := ctx.(*gemmArgs)
+	mulABtRange(g.dst, g.a, g.b, r.Lo, r.Hi)
+}
+
+// MulABtParallel is MulABt with the row dimension parallelized.
+func MulABtParallel(dst, a, b *Matrix, workers int) {
+	checkMulABt(dst, a, b)
+	if workers == 1 || a.Rows <= 1 {
+		mulABtRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	g := getGemmArgs(dst, a, b)
+	parallel.Default().Do(a.Rows, workers, g, mulABtBody)
+	putGemmArgs(g)
 }
 
 // Gram computes dst = aᵀ·a (K×K symmetric) exploiting symmetry: only the
 // upper triangle is accumulated, then mirrored.
 func Gram(dst, a *Matrix) { GramParallel(dst, a, 1) }
 
+// gramRange accumulates the upper triangle of aᵀa over rows [lo,hi) into
+// a flat k×k accumulator (row-major, stride k).
+func gramRange(acc []float64, a *Matrix, lo, hi int) {
+	k := a.Cols
+	for i := lo; i < hi; i++ {
+		row := a.Row(i)
+		for x, vx := range row {
+			if vx == 0 {
+				continue
+			}
+			off := x * k
+			for y := x; y < k; y++ {
+				acc[off+y] += vx * row[y]
+			}
+		}
+	}
+}
+
+func gramBody(ctx any, _ int, r parallel.Range, acc []float64) {
+	g := ctx.(*gemmArgs)
+	gramRange(acc, g.a, r.Lo, r.Hi)
+}
+
 // GramParallel is Gram with the row dimension parallelized via
-// deterministic per-worker partials.
+// deterministic per-worker partials summed in worker order.
 func GramParallel(dst, a *Matrix, workers int) {
 	if dst.Rows != a.Cols || dst.Cols != a.Cols {
 		panic("dense: Gram shape mismatch")
 	}
 	k := a.Cols
-	ranges := parallel.Partition(a.Rows, workers)
-	accumulate := func(p *Matrix, lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if workers == 1 || a.Rows <= 1 || dst.Stride != dst.Cols {
+		dst.Zero()
+		// Accumulate the upper triangle directly into dst row views.
+		for i := 0; i < a.Rows; i++ {
 			row := a.Row(i)
 			for x, vx := range row {
 				if vx == 0 {
 					continue
 				}
-				rp := p.Data[x*p.Stride : x*p.Stride+k]
+				rd := dst.Data[x*dst.Stride : x*dst.Stride+k]
 				for y := x; y < k; y++ {
-					rp[y] += vx * row[y]
+					rd[y] += vx * row[y]
 				}
 			}
 		}
-	}
-	if len(ranges) <= 1 {
-		dst.Zero()
-		accumulate(dst, 0, a.Rows)
 	} else {
-		partials := make([]*Matrix, len(ranges))
-		parallel.For(len(ranges), len(ranges), func(_ int, r parallel.Range) {
-			for t := r.Lo; t < r.Hi; t++ {
-				p := NewMatrix(k, k)
-				accumulate(p, ranges[t].Lo, ranges[t].Hi)
-				partials[t] = p
-			}
-		})
-		dst.Zero()
-		for _, p := range partials {
-			AXPY(dst, 1, p)
-		}
+		g := getGemmArgs(dst, a, nil)
+		parallel.Default().DoReduceVecInto(dst.Data[:k*k], a.Rows, workers, g, gramBody)
+		putGemmArgs(g)
 	}
 	// Mirror the upper triangle to the lower.
 	for x := 0; x < k; x++ {

@@ -188,20 +188,26 @@ func ScatterRows(dst, src *Matrix, idx []int) {
 }
 
 // ParallelFrobNorm2Diff computes ‖a-b‖²_F with a deterministic parallel
-// reduction over row blocks.
+// reduction over row blocks. Allocation-free in steady state.
 func ParallelFrobNorm2Diff(a, b *Matrix, workers int) float64 {
 	checkSameShape(a, b)
-	return parallel.ReduceFloat64(a.Rows, workers, func(_ int, r parallel.Range) float64 {
-		sum := 0.0
-		for i := r.Lo; i < r.Hi; i++ {
-			ra, rb := a.Row(i), b.Row(i)
-			for j := range ra {
-				d := ra[j] - rb[j]
-				sum += d * d
-			}
+	g := getGemmArgs(nil, a, b)
+	sum := parallel.Default().DoReduceFloat64(a.Rows, workers, g, frobDiffBody)
+	putGemmArgs(g)
+	return sum
+}
+
+func frobDiffBody(ctx any, _ int, r parallel.Range) float64 {
+	g := ctx.(*gemmArgs)
+	sum := 0.0
+	for i := r.Lo; i < r.Hi; i++ {
+		ra, rb := g.a.Row(i), g.b.Row(i)
+		for j := range ra {
+			d := ra[j] - rb[j]
+			sum += d * d
 		}
-		return sum
-	})
+	}
+	return sum
 }
 
 func checkSameShape(a, b *Matrix) {

@@ -41,25 +41,86 @@ const DefaultLockPoolSize = 1024
 // nzChunk is the nonzero chunk size used for round-robin scheduling.
 const nzChunk = 4096
 
-// Computer holds reusable kernel state for a fixed worker count.
+// Computer holds reusable kernel state for a fixed worker count. All
+// kernels dispatch through a persistent parallel.Pool and keep their
+// per-worker scratch rows in Computer-owned arenas, so steady-state
+// calls are allocation-free for any rank.
 type Computer struct {
 	Workers            int
 	ShortModeThreshold int
 	locks              *parallel.MutexPool
 	locals             *parallel.LocalBuffers
+	pool               *parallel.Pool
+
+	// Per-worker scratch, 2·kcap floats each: the lower half is the
+	// rowProduct buffer, the upper half the plan kernel's accumulator.
+	scratch [][]float64
+	kcap    int
+
+	// Reusable views over the thread-local buffers (localAccumulate).
+	bufViews [][]float64
+
+	// Reusable kernel argument block passed as ctx to the pool bodies.
+	args kernelArgs
+}
+
+// kernelArgs carries one kernel invocation's arguments through the pool
+// without a closure. It is owned by the Computer and cleared after each
+// call so factor matrices are not pinned between iterations.
+type kernelArgs struct {
+	c       *Computer
+	out     *dense.Matrix
+	x       *sptensor.Tensor
+	factors []*dense.Matrix
+	col     []int32
+	dst     []float64
+	locals  [][]float64
+	pm      *planMode
+	mode    int
+	k       int
+}
+
+func (a *kernelArgs) reset() {
+	c := a.c
+	*a = kernelArgs{c: c}
 }
 
 // NewComputer creates a Computer for the given worker count (≤0 means
-// GOMAXPROCS).
+// GOMAXPROCS), dispatching through the shared default pool.
 func NewComputer(workers int) *Computer {
+	return NewComputerWithPool(workers, parallel.Default())
+}
+
+// NewComputerWithPool is NewComputer on an explicit pool — used by tests
+// and benchmarks that need a pool larger than GOMAXPROCS.
+func NewComputerWithPool(workers int, pool *parallel.Pool) *Computer {
 	if workers <= 0 {
 		workers = parallel.DefaultWorkers()
 	}
-	return &Computer{
+	c := &Computer{
 		Workers:            workers,
 		ShortModeThreshold: DefaultShortModeThreshold,
 		locks:              parallel.NewMutexPool(DefaultLockPoolSize),
 		locals:             parallel.NewLocalBuffers(workers, 0),
+		pool:               pool,
+		bufViews:           make([][]float64, workers),
+	}
+	c.args.c = c
+	return c
+}
+
+// ensureScratch grows the per-worker scratch arenas to hold two rank-k
+// rows per worker. Amortized: after the first call at the largest rank,
+// subsequent calls allocate nothing.
+func (c *Computer) ensureScratch(k int) {
+	if k > c.kcap {
+		c.kcap = k
+		for w := range c.scratch {
+			c.scratch[w] = make([]float64, 2*c.kcap)
+		}
+	}
+	for len(c.scratch) < c.Workers {
+		c.scratch = append(c.scratch, make([]float64, 2*c.kcap))
 	}
 }
 
@@ -143,26 +204,27 @@ func Sequential(out *dense.Matrix, x *sptensor.Tensor, factors []*dense.Matrix, 
 func (c *Computer) Lock(out *dense.Matrix, x *sptensor.Tensor, factors []*dense.Matrix, mode int) {
 	k := checkArgs(out, x, factors, mode)
 	out.Zero()
-	col := x.Inds[mode]
-	parallel.ForChunked(x.NNZ(), c.Workers, nzChunk, func(w int, r parallel.Range) {
-		var tmp [512]float64 // K ≤ 512 in practice; fall back to heap otherwise
-		buf := tmp[:]
-		if k > len(buf) {
-			buf = make([]float64, k)
-		} else {
-			buf = buf[:k]
+	c.ensureScratch(k)
+	a := &c.args
+	a.out, a.x, a.factors, a.col, a.mode, a.k = out, x, factors, x.Inds[mode], mode, k
+	c.pool.DoChunked(x.NNZ(), c.Workers, nzChunk, a, lockBody)
+	a.reset()
+}
+
+func lockBody(ctx any, w int, r parallel.Range) {
+	a := ctx.(*kernelArgs)
+	c := a.c
+	buf := c.scratch[w][:a.k]
+	for e := r.Lo; e < r.Hi; e++ {
+		rowProduct(buf, a.x, a.factors, a.mode, e, a.x.Vals[e])
+		i := int(a.col[e])
+		c.locks.Lock(i)
+		row := a.out.Row(i)
+		for j, v := range buf {
+			row[j] += v
 		}
-		for e := r.Lo; e < r.Hi; e++ {
-			rowProduct(buf, x, factors, mode, e, x.Vals[e])
-			i := int(col[e])
-			c.locks.Lock(i)
-			row := out.Row(i)
-			for j, v := range buf {
-				row[j] += v
-			}
-			c.locks.Unlock(i)
-		}
-	})
+		c.locks.Unlock(i)
+	}
 }
 
 // Hybrid computes the MTTKRP with the paper's Hybrid Lock strategy:
@@ -186,7 +248,6 @@ func (c *Computer) localAccumulate(out *dense.Matrix, x *sptensor.Tensor, factor
 	if x.NNZ() == 0 {
 		return
 	}
-	col := x.Inds[mode]
 	size := rows * k
 	nchunks := (x.NNZ() + nzChunk - 1) / nzChunk
 	workers := c.Workers
@@ -196,34 +257,42 @@ func (c *Computer) localAccumulate(out *dense.Matrix, x *sptensor.Tensor, factor
 	if workers < 1 {
 		workers = 1
 	}
+	c.ensureScratch(k)
 	// Zero exactly the buffers the workers below will touch; Get zeroes
 	// and returns a stable slice for each worker.
-	bufs := make([][]float64, workers)
+	if cap(c.bufViews) < workers {
+		c.bufViews = make([][]float64, workers)
+	}
+	bufs := c.bufViews[:workers]
 	for w := range bufs {
 		bufs[w] = c.locals.Get(w, size)
 	}
-	parallel.ForChunked(x.NNZ(), workers, nzChunk, func(w int, r parallel.Range) {
-		local := bufs[w]
-		var tmp [512]float64
-		buf := tmp[:]
-		if k > len(buf) {
-			buf = make([]float64, k)
-		} else {
-			buf = buf[:k]
-		}
-		for e := r.Lo; e < r.Hi; e++ {
-			rowProduct(buf, x, factors, mode, e, x.Vals[e])
-			off := int(col[e]) * k
-			dst := local[off : off+k]
-			for j, v := range buf {
-				dst[j] += v
-			}
-		}
-	})
+	a := &c.args
+	a.out, a.x, a.factors, a.col, a.locals, a.mode, a.k = out, x, factors, x.Inds[mode], bufs, mode, k
+	c.pool.DoChunked(x.NNZ(), workers, nzChunk, a, localBody)
 	dst := out.Data[:size]
 	for _, local := range bufs {
 		for i, v := range local {
 			dst[i] += v
+		}
+	}
+	for w := range bufs {
+		bufs[w] = nil
+	}
+	a.reset()
+}
+
+func localBody(ctx any, w int, r parallel.Range) {
+	a := ctx.(*kernelArgs)
+	c := a.c
+	local := a.locals[w]
+	buf := c.scratch[w][:a.k]
+	for e := r.Lo; e < r.Hi; e++ {
+		rowProduct(buf, a.x, a.factors, a.mode, e, a.x.Vals[e])
+		off := int(a.col[e]) * a.k
+		dst := local[off : off+a.k]
+		for j, v := range buf {
+			dst[j] += v
 		}
 	}
 }
@@ -237,33 +306,35 @@ func (c *Computer) TimeMode(dst []float64, x *sptensor.Tensor, factors []*dense.
 		panic("mttkrp: TimeMode factor count mismatch")
 	}
 	k := len(dst)
-	for j := range dst {
-		dst[j] = 0
+	c.ensureScratch(k)
+	a := &c.args
+	a.x, a.factors, a.k = x, factors, k
+	c.pool.DoReduceVecInto(dst, x.NNZ(), c.Workers, a, timeModeBody)
+	a.reset()
+}
+
+func timeModeBody(ctx any, w int, r parallel.Range, acc []float64) {
+	a := ctx.(*kernelArgs)
+	buf := a.c.scratch[w][:a.k]
+	for e := r.Lo; e < r.Hi; e++ {
+		timeModeRow(buf, a.x, a.factors, e)
+		for j, v := range buf {
+			acc[j] += v
+		}
 	}
-	partial := parallel.ReduceVec(x.NNZ(), c.Workers, k, func(_ int, r parallel.Range, acc []float64) {
-		var tmp [512]float64
-		buf := tmp[:]
-		if k > len(buf) {
-			buf = make([]float64, k)
-		} else {
-			buf = buf[:k]
+}
+
+// timeModeRow computes buf[j] = val_e · ∏_v factors[v][i_v][j].
+func timeModeRow(buf []float64, x *sptensor.Tensor, factors []*dense.Matrix, e int) {
+	for j := range buf {
+		buf[j] = x.Vals[e]
+	}
+	for v, f := range factors {
+		row := f.Row(int(x.Inds[v][e]))
+		for j := range buf {
+			buf[j] *= row[j]
 		}
-		for e := r.Lo; e < r.Hi; e++ {
-			for j := range buf {
-				buf[j] = x.Vals[e]
-			}
-			for v, f := range factors {
-				row := f.Row(int(x.Inds[v][e]))
-				for j := range buf {
-					buf[j] *= row[j]
-				}
-			}
-			for j, v := range buf {
-				acc[j] += v
-			}
-		}
-	})
-	copy(dst, partial)
+	}
 }
 
 // TimeModeLocked is the pathological baseline for the streaming mode: a
@@ -278,29 +349,23 @@ func (c *Computer) TimeModeLocked(dst []float64, x *sptensor.Tensor, factors []*
 	for j := range dst {
 		dst[j] = 0
 	}
-	parallel.ForChunked(x.NNZ(), c.Workers, 64, func(_ int, r parallel.Range) {
-		var tmp [512]float64
-		buf := tmp[:]
-		if k > len(buf) {
-			buf = make([]float64, k)
-		} else {
-			buf = buf[:k]
+	c.ensureScratch(k)
+	a := &c.args
+	a.x, a.factors, a.dst, a.k = x, factors, dst, k
+	c.pool.DoChunked(x.NNZ(), c.Workers, 64, a, timeLockedBody)
+	a.reset()
+}
+
+func timeLockedBody(ctx any, w int, r parallel.Range) {
+	a := ctx.(*kernelArgs)
+	c := a.c
+	buf := c.scratch[w][:a.k]
+	for e := r.Lo; e < r.Hi; e++ {
+		timeModeRow(buf, a.x, a.factors, e)
+		c.locks.Lock(0)
+		for j, v := range buf {
+			a.dst[j] += v
 		}
-		for e := r.Lo; e < r.Hi; e++ {
-			for j := range buf {
-				buf[j] = x.Vals[e]
-			}
-			for v, f := range factors {
-				row := f.Row(int(x.Inds[v][e]))
-				for j := range buf {
-					buf[j] *= row[j]
-				}
-			}
-			c.locks.Lock(0)
-			for j, v := range buf {
-				dst[j] += v
-			}
-			c.locks.Unlock(0)
-		}
-	})
+		c.locks.Unlock(0)
+	}
 }

@@ -1,6 +1,9 @@
 package parallel
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // MutexPool is a pool of striped mutual-exclusion locks guarding the rows
 // of a factor matrix, as used by the baseline CP-stream MTTKRP. Row i is
@@ -76,15 +79,18 @@ func (lb *LocalBuffers) Workers() int { return len(lb.bufs) }
 
 // Reduce sums the first size elements of the first workers buffers into
 // dst (dst must have length ≥ size). The accumulation order is worker
-// 0..workers-1, so the result is deterministic.
+// 0..workers-1, so the result is deterministic. A worker count beyond the
+// held buffers or an undersized buffer is a caller sizing bug — silently
+// skipping it would drop that worker's partial sums — so Reduce panics
+// instead.
 func (lb *LocalBuffers) Reduce(dst []float64, workers, size int) {
 	if workers > len(lb.bufs) {
-		workers = len(lb.bufs)
+		panic(fmt.Sprintf("parallel: LocalBuffers.Reduce over %d workers but only %d buffers held", workers, len(lb.bufs)))
 	}
 	for w := 0; w < workers; w++ {
 		buf := lb.bufs[w]
 		if len(buf) < size {
-			continue
+			panic(fmt.Sprintf("parallel: LocalBuffers.Reduce worker %d buffer has %d elements, need %d", w, len(buf), size))
 		}
 		for i := 0; i < size; i++ {
 			dst[i] += buf[i]

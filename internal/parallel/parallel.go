@@ -1,18 +1,19 @@
 // Package parallel provides the shared-memory parallel primitives used by
-// every kernel in this repository: a static blocked parallel-for with
-// stable worker identifiers, per-worker reduction helpers, and a striped
-// mutex pool.
+// every kernel in this repository: a persistent worker pool (Pool) with a
+// static blocked parallel-for, stable worker identifiers, per-worker
+// reduction helpers, and a striped mutex pool.
 //
 // The package mirrors the scheduling semantics of the OpenMP constructs
 // used by the original CP-stream implementation: static chunking over an
 // index range, one logical thread per chunk set, and deterministic
-// per-thread partial results that are reduced in worker order.
+// per-thread partial results that are reduced in worker order. The
+// package-level For/ForChunked/ReduceFloat64/ReduceVec are thin
+// compatibility wrappers over the lazily-initialized default Pool;
+// allocation-critical kernels use the Pool's ctx-style Do* primitives
+// directly.
 package parallel
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // DefaultWorkers returns the default degree of parallelism, which is
 // GOMAXPROCS at the time of the call.
@@ -73,128 +74,33 @@ func Partition(n, workers int) []Range {
 // number of workers. Each worker w invokes body exactly once with its
 // assigned range and its stable worker id (0 ≤ w < workers). When
 // workers == 1 (or n is small) the body runs on the calling goroutine,
-// so single-threaded runs have no scheduling overhead.
+// so single-threaded runs have no scheduling overhead. Dispatches
+// through the default Pool.
 func For(n, workers int, body func(w int, r Range)) {
-	ranges := Partition(n, workers)
-	if len(ranges) == 0 {
-		return
-	}
-	if len(ranges) == 1 {
-		body(0, ranges[0])
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(ranges) - 1)
-	for w := 1; w < len(ranges); w++ {
-		go func(w int) {
-			defer wg.Done()
-			body(w, ranges[w])
-		}(w)
-	}
-	body(0, ranges[0])
-	wg.Wait()
+	Default().For(n, workers, body)
 }
 
 // ForChunked executes body over [0, n) in fixed-size chunks distributed
 // round-robin across workers. Unlike For, a worker may receive several
 // non-adjacent chunks; this approximates OpenMP's schedule(static, chunk)
 // and is used where load per index is highly skewed (e.g. nonzeros sorted
-// by coordinate).
+// by coordinate). Dispatches through the default Pool.
 func ForChunked(n, workers, chunk int, body func(w int, r Range)) {
-	if n <= 0 {
-		return
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	workers = clampWorkers(workers, (n+chunk-1)/chunk)
-	if workers == 1 {
-		body(0, Range{0, n})
-		return
-	}
-	var wg sync.WaitGroup
-	run := func(w int) {
-		for lo := w * chunk; lo < n; lo += workers * chunk {
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			body(w, Range{lo, hi})
-		}
-	}
-	wg.Add(workers - 1)
-	for w := 1; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			run(w)
-		}(w)
-	}
-	run(0)
-	wg.Wait()
+	Default().ForChunked(n, workers, chunk, body)
 }
 
 // ReduceFloat64 runs body on a static partition of [0, n); each worker
 // returns a float64 partial, and the partials are summed in worker order
 // so the floating-point reduction order is deterministic for a fixed
-// worker count.
+// worker count. Dispatches through the default Pool.
 func ReduceFloat64(n, workers int, body func(w int, r Range) float64) float64 {
-	ranges := Partition(n, workers)
-	if len(ranges) == 0 {
-		return 0
-	}
-	partials := make([]float64, len(ranges))
-	if len(ranges) == 1 {
-		return body(0, ranges[0])
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(ranges) - 1)
-	for w := 1; w < len(ranges); w++ {
-		go func(w int) {
-			defer wg.Done()
-			partials[w] = body(w, ranges[w])
-		}(w)
-	}
-	partials[0] = body(0, ranges[0])
-	wg.Wait()
-	sum := 0.0
-	for _, p := range partials {
-		sum += p
-	}
-	return sum
+	return Default().ReduceFloat64(n, workers, body)
 }
 
 // ReduceVec is like ReduceFloat64 but each worker produces a fixed-length
 // vector partial (e.g. per-column norms). Worker w writes into its own
 // slice; the partials are then summed element-wise in worker order into a
-// freshly allocated result.
+// freshly allocated result. Dispatches through the default Pool.
 func ReduceVec(n, workers, dim int, body func(w int, r Range, acc []float64)) []float64 {
-	ranges := Partition(n, workers)
-	out := make([]float64, dim)
-	if len(ranges) == 0 {
-		return out
-	}
-	if len(ranges) == 1 {
-		body(0, ranges[0], out)
-		return out
-	}
-	partials := make([][]float64, len(ranges))
-	for w := range partials {
-		partials[w] = make([]float64, dim)
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(ranges) - 1)
-	for w := 1; w < len(ranges); w++ {
-		go func(w int) {
-			defer wg.Done()
-			body(w, ranges[w], partials[w])
-		}(w)
-	}
-	body(0, ranges[0], partials[0])
-	wg.Wait()
-	for _, p := range partials {
-		for i, v := range p {
-			out[i] += v
-		}
-	}
-	return out
+	return Default().ReduceVec(n, workers, dim, body)
 }

@@ -223,22 +223,35 @@ func TestMutexPoolMinimumSize(t *testing.T) {
 }
 
 func TestLocalBuffersReduceEdgeCases(t *testing.T) {
-	lb := NewLocalBuffers(2, 4)
-	a := lb.Get(0, 4)
-	a[0] = 1
-	// Worker 1's buffer was sized at 4; ask Reduce for more workers than
-	// exist and a size larger than some buffers — out-of-range workers
-	// and short buffers are skipped.
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	// Asking Reduce for more workers than buffers exist, or for a size
+	// larger than some worker's buffer, is a sizing bug: a silent skip
+	// would drop that worker's partial sums. Both must panic.
 	short := NewLocalBuffers(2, 0)
 	short.Get(0, 2)[1] = 5
+	mustPanic("undersized buffer", func() {
+		dst := make([]float64, 4)
+		short.Reduce(dst, 2, 4) // worker 1 has size 0 < 4
+	})
+	lb := NewLocalBuffers(2, 4)
+	lb.Get(0, 4)[0] = 1
+	mustPanic("too many workers", func() {
+		dst := make([]float64, 4)
+		lb.Reduce(dst, 10, 4)
+	})
+	// In-range reductions still work.
 	dst := make([]float64, 4)
-	short.Reduce(dst, 5, 4) // worker 1 has size 0 < 4 → skipped
-	if dst[1] != 0 {
-		t.Fatalf("short buffers must be skipped, got %v", dst)
-	}
-	dst2 := make([]float64, 4)
-	lb.Reduce(dst2, 10, 4)
-	if dst2[0] != 1 {
-		t.Fatalf("reduce = %v", dst2)
+	lb.Get(1, 4)[0] = 2
+	lb.Reduce(dst, 2, 4)
+	if dst[0] != 3 {
+		t.Fatalf("reduce = %v", dst)
 	}
 }

@@ -1,0 +1,245 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolForMatchesPartition(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 3, 10, 97, 1000} {
+		for _, workers := range []int{1, 2, 4} {
+			seen := make([]bool, n)
+			var mu sync.Mutex
+			p.For(n, workers, func(w int, r Range) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := r.Lo; i < r.Hi; i++ {
+					if seen[i] {
+						t.Errorf("n=%d w=%d: index %d visited twice", n, workers, i)
+					}
+					seen[i] = true
+				}
+			})
+			for i, ok := range seen {
+				if !ok {
+					t.Fatalf("n=%d workers=%d: index %d not visited", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolWorkerRangeMatchesPartition(t *testing.T) {
+	for n := 1; n < 50; n++ {
+		for workers := 1; workers <= n && workers <= 8; workers++ {
+			ranges := Partition(n, workers)
+			for w, want := range ranges {
+				if got := workerRange(n, workers, w); got != want {
+					t.Fatalf("workerRange(%d,%d,%d)=%v want %v", n, workers, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolChunkedMatchesFreeFunction(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	n, chunk := 1000, 64
+	got := make([]int, n)
+	p.ForChunked(n, 3, chunk, func(w int, r Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			got[i] = w
+		}
+	})
+	// Round-robin: chunk c goes to worker c mod workers.
+	for i := range got {
+		want := (i / chunk) % 3
+		if got[i] != want {
+			t.Fatalf("index %d ran on worker %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestPoolReduceDeterministic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+1)
+	}
+	body := func(_ int, r Range) float64 {
+		s := 0.0
+		for i := r.Lo; i < r.Hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	first := p.ReduceFloat64(len(vals), 4, body)
+	for trial := 0; trial < 10; trial++ {
+		if again := p.ReduceFloat64(len(vals), 4, body); again != first {
+			t.Fatalf("trial %d: %v != %v", trial, again, first)
+		}
+	}
+}
+
+func TestPoolReduceVecIntoOverwritesDst(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	dst := []float64{9, 9, 9}
+	p.DoReduceVecInto(dst, 8, 4, nil, func(_ any, _ int, r Range, acc []float64) {
+		for i := r.Lo; i < r.Hi; i++ {
+			acc[0]++
+			acc[2] += 2
+		}
+	})
+	if dst[0] != 8 || dst[1] != 0 || dst[2] != 16 {
+		t.Fatalf("dst = %v", dst)
+	}
+	// n == 0 must still zero dst.
+	p.DoReduceVecInto(dst, 0, 4, nil, func(_ any, _ int, _ Range, _ []float64) {})
+	if dst[0] != 0 || dst[2] != 0 {
+		t.Fatalf("dst not zeroed on empty reduction: %v", dst)
+	}
+}
+
+// Nested dispatch on the same pool must fall back to the spawn path
+// rather than deadlock, and outer worker IDs stay stable.
+func TestPoolNestedDispatch(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total int64
+	var mu sync.Mutex
+	p.For(4, 4, func(w int, r Range) {
+		p.For(10, 2, func(_ int, inner Range) {
+			mu.Lock()
+			total += int64(inner.Hi - inner.Lo)
+			mu.Unlock()
+		})
+	})
+	if total != 40 {
+		t.Fatalf("nested total = %d, want 40", total)
+	}
+}
+
+// Concurrent dispatch from independent goroutines: one wins the pool,
+// the others take the spawn fallback; all must complete correctly.
+func TestPoolConcurrentDispatch(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				got := p.ReduceFloat64(1000, 4, func(_ int, r Range) float64 {
+					return float64(r.Hi - r.Lo)
+				})
+				if got != 1000 {
+					t.Errorf("reduce = %v, want 1000", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Requesting more workers than the pool holds must still run all work
+// (via the spawn fallback).
+func TestPoolOversubscribed(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var count int64
+	var mu sync.Mutex
+	p.For(100, 8, func(_ int, r Range) {
+		mu.Lock()
+		count += int64(r.Hi - r.Lo)
+		mu.Unlock()
+	})
+	if count != 100 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+// The steady-state ctx-style primitives must not allocate: the worker
+// goroutines are parked, the descriptor lives in pool fields, and the
+// reduction arenas are pool-owned. Closure captures would break this, so
+// the bodies below are top-level functions with a pointer ctx.
+type poolAllocArgs struct {
+	vals []float64
+	out  []float64
+}
+
+func poolAllocForBody(ctx any, _ int, r Range) {
+	a := ctx.(*poolAllocArgs)
+	for i := r.Lo; i < r.Hi; i++ {
+		a.out[i] = 2 * a.vals[i]
+	}
+}
+
+func poolAllocReduceBody(ctx any, _ int, r Range) float64 {
+	a := ctx.(*poolAllocArgs)
+	s := 0.0
+	for i := r.Lo; i < r.Hi; i++ {
+		s += a.vals[i]
+	}
+	return s
+}
+
+func poolAllocReduceVecBody(ctx any, _ int, r Range, acc []float64) {
+	a := ctx.(*poolAllocArgs)
+	for i := r.Lo; i < r.Hi; i++ {
+		acc[i%len(acc)] += a.vals[i]
+	}
+}
+
+func TestPoolSteadyStateZeroAlloc(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	args := &poolAllocArgs{vals: make([]float64, 4096), out: make([]float64, 4096)}
+	for i := range args.vals {
+		args.vals[i] = float64(i)
+	}
+	dst := make([]float64, 16)
+	// Warm up: grows the vector-reduction arenas once.
+	p.DoReduceVecInto(dst, len(args.vals), 4, args, poolAllocReduceVecBody)
+	cases := map[string]func(){
+		"Do": func() { p.Do(len(args.vals), 4, args, poolAllocForBody) },
+		"DoChunked": func() {
+			p.DoChunked(len(args.vals), 4, 256, args, poolAllocForBody)
+		},
+		"DoReduceFloat64": func() {
+			_ = p.DoReduceFloat64(len(args.vals), 4, args, poolAllocReduceBody)
+		},
+		"DoReduceVecInto": func() {
+			p.DoReduceVecInto(dst, len(args.vals), 4, args, poolAllocReduceVecBody)
+		},
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs per run, want 0", name, allocs)
+		}
+	}
+}
+
+func TestDefaultPoolWrappers(t *testing.T) {
+	// The free functions must dispatch through the default pool and keep
+	// their documented semantics.
+	if Default() != Default() {
+		t.Fatal("Default must return a singleton")
+	}
+	sum := ReduceFloat64(100, 4, func(_ int, r Range) float64 { return float64(r.Hi - r.Lo) })
+	if sum != 100 {
+		t.Fatalf("wrapper ReduceFloat64 = %v", sum)
+	}
+	vec := ReduceVec(10, 2, 3, func(_ int, r Range, acc []float64) {
+		acc[1] += float64(r.Hi - r.Lo)
+	})
+	if vec[1] != 10 || vec[0] != 0 {
+		t.Fatalf("wrapper ReduceVec = %v", vec)
+	}
+}
