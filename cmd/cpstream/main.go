@@ -13,14 +13,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"spstream"
+	"spstream/internal/resilience"
 	"spstream/internal/trace"
 )
 
@@ -47,12 +53,22 @@ func main() {
 		breakdown  = flag.Bool("breakdown", false, "print the per-phase time breakdown at the end")
 		maxSlices  = flag.Int("slices", 0, "process at most this many slices (0 = all)")
 		factorsOut = flag.String("factors", "", "write final factor matrices to this file")
-		checkpoint = flag.String("checkpoint", "", "write the decomposer state to this file after the run")
-		resume     = flag.String("resume", "", "restore the decomposer state from this file before processing")
+		checkpoint = flag.String("checkpoint", "", "write the decomposer state to this file after the run (atomic)")
+		resume     = flag.String("resume", "", "restore the decomposer state before processing: a checkpoint file, or a directory (newest valid checkpoint wins)")
+		ckptDir    = flag.String("checkpoint-dir", "", "write periodic crash-safe checkpoints into this directory")
+		ckptEvery  = flag.Int("checkpoint-every", 10, "periodic checkpoint interval in slices (with -checkpoint-dir)")
+		ckptKeep   = flag.Int("checkpoint-keep", 2, "periodic checkpoints retained (with -checkpoint-dir)")
+		onError    = flag.String("on-error", "", "slice failure policy: abort, retry, skip (enables guarded processing)")
+		sliceTmout = flag.Duration("slice-timeout", 0, "per-slice deadline (e.g. 30s; 0 = none)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the stream at the next iteration boundary;
+	// the decomposer is then still consistent and checkpointable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -103,23 +119,39 @@ func main() {
 		opt.Constraint = spstream.L1(*l1)
 	}
 
+	// Guarded processing: any of the resilience flags arms it.
+	var rcfg *spstream.ResilienceConfig
+	if *onError != "" || *ckptDir != "" || *sliceTmout > 0 {
+		rcfg = &spstream.ResilienceConfig{SliceTimeout: *sliceTmout}
+		if *onError != "" {
+			pol, err := resilience.ParsePolicy(*onError)
+			if err != nil {
+				fatal(err)
+			}
+			rcfg.Policy = pol
+		}
+		if *ckptDir != "" {
+			mgr, err := spstream.NewCheckpointManager(*ckptDir, *ckptEvery, *ckptKeep)
+			if err != nil {
+				fatal(err)
+			}
+			rcfg.Checkpoint = mgr
+		}
+		opt.Resilience = rcfg
+	}
+
 	dec, err := spstream.New(stream.Dims, opt)
 	if err != nil {
 		fatal(err)
 	}
 	skip := 0
 	if *resume != "" {
-		f, err := os.Open(*resume)
+		from, err := restoreFrom(*resume, dec)
 		if err != nil {
 			fatal(err)
 		}
-		if err := dec.RestoreState(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		f.Close()
 		skip = dec.T()
-		fmt.Printf("resumed from %s at slice %d\n", *resume, skip)
+		fmt.Printf("resumed from %s at slice %d\n", from, skip)
 	}
 
 	effWorkers := opt.Workers
@@ -139,7 +171,12 @@ func main() {
 			fatal(fmt.Errorf("resume state is at slice %d but the stream has only %d", skip, skipped))
 		}
 	}
+	interrupted := false
 	for {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		x := src.Next()
 		if x == nil {
 			break
@@ -148,20 +185,46 @@ func main() {
 			break
 		}
 		start := time.Now()
-		res, err := dec.ProcessSlice(x)
-		if err != nil {
+		res, err := dec.ProcessSliceContext(ctx, x)
+		switch {
+		case err == nil:
+		case errors.Is(err, spstream.ErrSliceSkipped):
+			fmt.Fprintf(os.Stderr, "cpstream: %v\n", err)
+		case errors.Is(err, context.Canceled):
+			interrupted = true
+		default:
 			fatal(err)
+		}
+		if interrupted {
+			break
 		}
 		elapsed := time.Since(start)
 		fitStr := "-"
 		if *fit {
 			fitStr = fmt.Sprintf("%.4f", res.Fit)
 		}
-		fmt.Printf("%6d %10d %6d %12.6g %10s %10s %8v\n",
-			res.T, res.NNZ, res.Iters, res.Delta, fitStr, elapsed.Round(time.Microsecond), res.Converged)
+		status := fmt.Sprintf("%v", res.Converged)
+		if res.Skipped {
+			status = "skipped"
+		}
+		fmt.Printf("%6d %10d %6d %12.6g %10s %10s %8s\n",
+			res.T, res.NNZ, res.Iters, res.Delta, fitStr, elapsed.Round(time.Microsecond), status)
 		processed++
+		if rcfg != nil && rcfg.Checkpoint != nil && !res.Skipped {
+			if _, err := rcfg.Checkpoint.MaybeWrite(dec.T(), dec); err != nil {
+				fmt.Fprintf(os.Stderr, "cpstream: checkpoint: %v\n", err)
+			}
+		}
 	}
 	fmt.Printf("total: %d slices in %s\n", processed, time.Since(totalStart).Round(time.Millisecond))
+	if interrupted {
+		fmt.Printf("interrupted at slice %d; state is consistent at the last completed slice\n", dec.T())
+	}
+	if rcfg != nil {
+		st := dec.ResilienceStats()
+		fmt.Printf("resilience: retries=%d skips=%d rollbacks=%d ridge-recoveries=%d panics=%d rejects=%d timeouts=%d\n",
+			st.SliceRetries, st.SlicesSkipped, st.Rollbacks, st.RidgeRecoveries, st.PanicsRecovered, st.InputRejects, st.Timeouts)
+	}
 
 	if *breakdown {
 		bd := dec.Breakdown()
@@ -177,16 +240,17 @@ func main() {
 		}
 		fmt.Printf("factors written to %s\n", *factorsOut)
 	}
+	// A final checkpoint survives interrupts too: the state is the
+	// last completed slice either way.
+	if rcfg != nil && rcfg.Checkpoint != nil && dec.T() > 0 {
+		if path, err := rcfg.Checkpoint.Write(dec.T(), dec); err != nil {
+			fmt.Fprintf(os.Stderr, "cpstream: final checkpoint: %v\n", err)
+		} else {
+			fmt.Printf("checkpoint written to %s\n", path)
+		}
+	}
 	if *checkpoint != "" {
-		f, err := os.Create(*checkpoint)
-		if err != nil {
-			fatal(err)
-		}
-		if err := dec.SaveState(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := resilience.AtomicWriteFile(*checkpoint, dec.SaveState); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("checkpoint written to %s\n", *checkpoint)
@@ -226,6 +290,28 @@ func loadStream(input string, streamMode int, preset string, scale float64) (*sp
 	default:
 		return nil, fmt.Errorf("one of -input or -preset is required")
 	}
+}
+
+// restoreFrom restores the decomposer from a checkpoint file, or — when
+// path is a directory — from the newest valid checkpoint inside it.
+// It returns the path actually used.
+func restoreFrom(path string, dec *spstream.Decomposer) (string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if info.IsDir() {
+		return spstream.RestoreNewestCheckpoint(path, dec)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := dec.RestoreState(io.Reader(f)); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 func fatal(err error) {

@@ -74,6 +74,9 @@ type Solver struct {
 	opt Options
 	// Workspace, lazily (re)sized.
 	u, atld, a0 *dense.Matrix
+	// cancel, when set, is polled between ADMM iterations; a non-nil
+	// return aborts the solve with that error.
+	cancel func() error
 }
 
 // NewSolver creates a solver with the given options.
@@ -83,6 +86,22 @@ func NewSolver(opt Options) *Solver {
 
 // Options returns the solver's (defaulted) options.
 func (s *Solver) Options() Options { return s.opt }
+
+// SetCancel installs (or clears, with nil) a cancellation check polled
+// between ADMM iterations — typically a context.Context's Err method —
+// so a hung or over-deadline slice can abandon the inner solve at an
+// iteration boundary. The in-place iterate A stays well-defined (it is
+// a feasible-in-progress ADMM iterate); callers roll back or retry at
+// the slice level.
+func (s *Solver) SetCancel(f func() error) { s.cancel = f }
+
+// cancelled polls the installed cancellation check.
+func (s *Solver) cancelled() error {
+	if s.cancel == nil {
+		return nil
+	}
+	return s.cancel()
+}
 
 func (s *Solver) ensureWorkspace(rows, cols int) {
 	need := func(m *dense.Matrix) bool {

@@ -28,6 +28,9 @@ func (s *Solver) Baseline(a, phi, psi *dense.Matrix, con Constraint) (Stats, err
 
 	var stats Stats
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := s.cancelled(); err != nil {
+			return stats, err
+		}
 		stats.Iters = iter
 		// init: A₀ ← A (separate pass, as in Alg. 2 line 4).
 		parallel.For(rows, opt.Workers, func(_ int, r parallel.Range) {

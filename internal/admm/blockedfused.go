@@ -69,6 +69,9 @@ func (s *Solver) BlockedFused(a, phi, psi *dense.Matrix, con Constraint) (Stats,
 
 	var stats Stats
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := s.cancelled(); err != nil {
+			return stats, err
+		}
 		stats.Iters = iter
 		// One fused pass per iteration: project with the previous
 		// all-reduced column norms, then the fused element loop

@@ -10,7 +10,7 @@ import (
 )
 
 // testStream generates a small planted-structure stream.
-func testStream(t *testing.T, seed uint64, dims []int, nnzPerSlice, slices int) *sptensor.Stream {
+func testStream(t testing.TB, seed uint64, dims []int, nnzPerSlice, slices int) *sptensor.Stream {
 	t.Helper()
 	dists := make([]synth.IndexDist, len(dims))
 	for m, d := range dims {

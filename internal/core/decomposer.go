@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"spstream/internal/dense"
 	"spstream/internal/mttkrp"
 	"spstream/internal/parallel"
+	"spstream/internal/resilience"
 	"spstream/internal/sptensor"
 	"spstream/internal/synth"
 	"spstream/internal/trace"
@@ -56,6 +58,14 @@ type Decomposer struct {
 
 	// Reusable argument block for the ctx-style parallel helpers below.
 	pargs coreArgs
+
+	// Resilience state (see resilient.go): recovery counters, the
+	// last-good snapshot, and the slice attempt / inner iteration
+	// counters reported to the fault-injection hook.
+	stats        resilience.Stats
+	snap         *stateSnapshot
+	sliceAttempt int
+	iterNo       int
 }
 
 // coreArgs carries addMulAB/solveRows operands through the worker pool
@@ -143,45 +153,33 @@ func (d *Decomposer) Breakdown() *trace.Breakdown { return &d.bd }
 // ResetBreakdown clears accumulated phase timings.
 func (d *Decomposer) ResetBreakdown() { d.bd.Reset() }
 
-// ProcessSlice advances the factorization by one time slice.
-func (d *Decomposer) ProcessSlice(x *sptensor.Tensor) (SliceResult, error) {
+// checkSlice validates a slice's shape against the decomposer.
+func (d *Decomposer) checkSlice(x *sptensor.Tensor) error {
 	if x == nil {
-		return SliceResult{}, fmt.Errorf("core: nil slice")
+		return fmt.Errorf("core: nil slice")
 	}
 	if x.NModes() != d.n {
-		return SliceResult{}, fmt.Errorf("core: slice has %d modes, decomposer expects %d", x.NModes(), d.n)
+		return fmt.Errorf("core: slice has %d modes, decomposer expects %d", x.NModes(), d.n)
 	}
 	for m, dim := range x.Dims {
 		if dim != d.dims[m] {
-			return SliceResult{}, fmt.Errorf("core: slice mode %d length %d ≠ %d", m, dim, d.dims[m])
+			return fmt.Errorf("core: slice mode %d length %d ≠ %d", m, dim, d.dims[m])
 		}
 	}
-	switch d.opt.Algorithm {
-	case SpCPStream:
-		return d.processSliceSpCP(x)
-	default:
-		return d.processSliceExplicit(x)
-	}
+	return nil
+}
+
+// ProcessSlice advances the factorization by one time slice. It is
+// ProcessSliceContext with a background context.
+func (d *Decomposer) ProcessSlice(x *sptensor.Tensor) (SliceResult, error) {
+	return d.ProcessSliceContext(context.Background(), x)
 }
 
 // ProcessStream drains a slice source, invoking cb (if non-nil) after
-// every slice, and returns the per-slice results.
+// every slice, and returns the per-slice results. It is
+// ProcessStreamContext with a background context.
 func (d *Decomposer) ProcessStream(src sptensor.SliceSource, cb func(SliceResult)) ([]SliceResult, error) {
-	var out []SliceResult
-	for {
-		x := src.Next()
-		if x == nil {
-			return out, nil
-		}
-		res, err := d.ProcessSlice(x)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, res)
-		if cb != nil {
-			cb(res)
-		}
-	}
+	return d.ProcessStreamContext(context.Background(), src, cb)
 }
 
 // --- shared helpers ---------------------------------------------------
@@ -212,7 +210,7 @@ func (d *Decomposer) solveS(x *sptensor.Tensor, factors []*dense.Matrix, locked 
 	} else {
 		d.mt.TimeMode(d.s, x, factors)
 	}
-	if err := d.chol.Factorize(phi); err != nil {
+	if err := d.factorize(phi); err != nil {
 		return fmt.Errorf("core: sₜ solve: %w", err)
 	}
 	d.chol.SolveVec(d.s)

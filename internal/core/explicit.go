@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"spstream/internal/dense"
 	"spstream/internal/mttkrp"
 	"spstream/internal/parallel"
+	"spstream/internal/resilience"
 	"spstream/internal/sptensor"
 	"spstream/internal/trace"
 )
@@ -31,13 +33,22 @@ type explicitRun struct {
 // factor matrices — the Baseline and Optimized variants. The two differ
 // in kernel choice: Lock vs plan-based segmented MTTKRP, single-lock vs
 // thread-local streaming-mode update, and Algorithm 2 vs Algorithm 3
-// ADMM for constrained problems.
-func (d *Decomposer) processSliceExplicit(x *sptensor.Tensor) (SliceResult, error) {
+// ADMM for constrained problems. The context is checked at iteration
+// boundaries (and inside long ADMM loops via the solver's cancel hook),
+// so cancellation abandons the slice without tearing down mid-kernel.
+func (d *Decomposer) processSliceExplicit(ctx context.Context, x *sptensor.Tensor) (SliceResult, error) {
 	run, err := d.beginExplicit(x)
 	if err != nil {
 		return run.res, err
 	}
 	for iter := 1; iter <= d.opt.MaxIters; iter++ {
+		d.iterNo = iter
+		if err := ctx.Err(); err != nil {
+			return run.res, err
+		}
+		if err := d.injectFault(resilience.StageIterate, iter); err != nil {
+			return run.res, err
+		}
 		converged, err := d.iterateExplicit(run)
 		if err != nil {
 			return run.res, err
@@ -122,7 +133,7 @@ func (d *Decomposer) iterateExplicit(run *explicitRun) (bool, error) {
 		// Φ⁽ⁿ⁾ and its Cholesky factorization.
 		t0 = time.Now()
 		d.buildPhi(phi, n)
-		err := d.chol.Factorize(phi)
+		err := d.factorize(phi)
 		d.bd.Add(trace.Inverse, time.Since(t0))
 		if err != nil {
 			return false, fmt.Errorf("core: mode %d Φ factorization: %w", n, err)

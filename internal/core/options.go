@@ -23,6 +23,7 @@ import (
 
 	"spstream/internal/admm"
 	"spstream/internal/parallel"
+	"spstream/internal/resilience"
 )
 
 // Algorithm selects the solver variant.
@@ -102,6 +103,11 @@ type Options struct {
 	// Khatri-Rao products along shared index prefixes. It replaces the
 	// default per-slice segmented plan kernel (see mttkrp.Plan).
 	CSFMTTKRP bool
+	// Resilience, when non-nil, enables guarded slice processing: input
+	// scanning, the ridge-escalation recovery ladder for solver
+	// failures, post-slice health checks, last-good snapshot rollback,
+	// and the RetrySlice/SkipSlice/Abort policy. See resilience.Config.
+	Resilience *resilience.Config
 	// ConstrainedSpCP enables the experimental constrained spCP-stream
 	// extension — the integration of ADMM into spCP-stream that the
 	// paper names as future work (§VII). The nz rows are solved exactly
@@ -141,6 +147,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Resilience != nil {
+		cfg := o.Resilience.WithDefaults()
+		o.Resilience = &cfg
 	}
 	return o
 }
@@ -189,4 +199,11 @@ type SliceResult struct {
 	ADMMIters int
 	// Fit is 1 − ‖X−X̂‖/‖X‖ for this slice (TrackFit only, else NaN).
 	Fit float64
+	// Retries is the number of whole-slice re-runs the resilience layer
+	// consumed before this result (0 on the first attempt).
+	Retries int
+	// Skipped reports that the slice was dropped under the SkipSlice
+	// policy: the decomposer state is the pre-slice snapshot and the
+	// other result fields describe the final failed attempt.
+	Skipped bool
 }

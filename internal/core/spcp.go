@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"spstream/internal/dense"
 	"spstream/internal/mttkrp"
 	"spstream/internal/parallel"
+	"spstream/internal/resilience"
 	"spstream/internal/sptensor"
 	"spstream/internal/trace"
 )
@@ -16,14 +18,14 @@ import (
 // begin/iterate/finish phases: the remapped slice, its compiled MTTKRP
 // plan, the gathered A_nz iterates, and the per-mode final transforms.
 type spcpRun struct {
-	x       *sptensor.Tensor
-	rm      *mttkrp.Remapped
-	plan    *mttkrp.Plan
-	aNzPrev []*dense.Matrix
-	aNz     []*dense.Matrix
-	tFinal  []*dense.Matrix
-	czCur   []*dense.Matrix
-	tmpKK   *dense.Matrix
+	x         *sptensor.Tensor
+	rm        *mttkrp.Remapped
+	plan      *mttkrp.Plan
+	aNzPrev   []*dense.Matrix
+	aNz       []*dense.Matrix
+	tFinal    []*dense.Matrix
+	czCur     []*dense.Matrix
+	tmpKK     *dense.Matrix
 	deltaPrev float64
 	res       SliceResult
 }
@@ -37,12 +39,19 @@ type spcpRun struct {
 // transform Q·Φ⁻¹ of the final iteration (Eq. 6). The inner loop
 // therefore costs O(nnz·K + |nz|·K² + K³) per mode instead of
 // O(nnz·K + Iₙ·K²) — the source of the 102× speedups on skewed tensors.
-func (d *Decomposer) processSliceSpCP(x *sptensor.Tensor) (SliceResult, error) {
+func (d *Decomposer) processSliceSpCP(ctx context.Context, x *sptensor.Tensor) (SliceResult, error) {
 	run, err := d.beginSpCP(x)
 	if err != nil {
 		return run.res, err
 	}
 	for iter := 1; iter <= d.opt.MaxIters; iter++ {
+		d.iterNo = iter
+		if err := ctx.Err(); err != nil {
+			return run.res, err
+		}
+		if err := d.injectFault(resilience.StageIterate, iter); err != nil {
+			return run.res, err
+		}
 		converged, err := d.iterateSpCP(run)
 		if err != nil {
 			return run.res, err
@@ -144,7 +153,7 @@ func (d *Decomposer) iterateSpCP(run *spcpRun) (bool, error) {
 		d.bd.Add(trace.Historical, time.Since(t0))
 		t0 = time.Now()
 		d.buildPhi(phi, n)
-		err := d.chol.Factorize(phi)
+		err := d.factorize(phi)
 		d.bd.Add(trace.Inverse, time.Since(t0))
 		if err != nil {
 			return false, fmt.Errorf("core: spcp mode %d Φ factorization: %w", n, err)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"spstream/internal/dense"
@@ -16,18 +17,54 @@ import (
 // that crosses slice boundaries: the factors, their Gram invariants,
 // the temporal Gram G, the temporal history S, the slice counter, and
 // (for spCP-stream) the previous nz sets and z-row Grams.
+//
+// Format v2 (SPSTRM02) appends a CRC32 (IEEE) footer covering the magic
+// and the payload, so a checkpoint truncated or bit-flipped at rest is
+// rejected instead of restoring silently wrong state. v1 (SPSTRM01)
+// checkpoints — the same payload without the footer — still restore.
 
 // stateMagic identifies the checkpoint container and its version.
-var stateMagic = [8]byte{'S', 'P', 'S', 'T', 'R', 'M', '0', '1'}
+var (
+	stateMagic   = [8]byte{'S', 'P', 'S', 'T', 'R', 'M', '0', '2'}
+	stateMagicV1 = [8]byte{'S', 'P', 'S', 'T', 'R', 'M', '0', '1'}
+)
 
-// SaveState serializes the decomposer's streaming state. It must be
-// called between slices (never concurrently with ProcessSlice).
+// crcWriter updates a running CRC32 with everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// crcReader updates a running CRC32 with everything read through it. It
+// sits above the buffered reader so lookahead never hashes bytes the
+// parser has not consumed (the footer must stay out of the sum).
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// SaveState serializes the decomposer's streaming state (format v2,
+// with the CRC footer). It must be called between slices (never
+// concurrently with ProcessSlice).
 func (d *Decomposer) SaveState(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(stateMagic[:]); err != nil {
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write(stateMagic[:]); err != nil {
 		return err
 	}
-	writeU64 := func(v uint64) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeU64 := func(v uint64) error { return binary.Write(cw, binary.LittleEndian, v) }
 	if err := writeU64(uint64(d.n)); err != nil {
 		return err
 	}
@@ -44,20 +81,20 @@ func (d *Decomposer) SaveState(w io.Writer) error {
 	}
 	// Factors, Gram invariants, z-row Grams.
 	for m := range d.a {
-		if err := writeMatrix(bw, d.a[m]); err != nil {
+		if err := writeMatrix(cw, d.a[m]); err != nil {
 			return err
 		}
-		if err := writeMatrix(bw, d.c[m]); err != nil {
+		if err := writeMatrix(cw, d.c[m]); err != nil {
 			return err
 		}
-		if err := writeMatrix(bw, d.cz[m]); err != nil {
+		if err := writeMatrix(cw, d.cz[m]); err != nil {
 			return err
 		}
 	}
-	if err := writeMatrix(bw, d.g); err != nil {
+	if err := writeMatrix(cw, d.g); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, d.s); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, d.s); err != nil {
 		return err
 	}
 	// Temporal history.
@@ -65,7 +102,7 @@ func (d *Decomposer) SaveState(w io.Writer) error {
 		return err
 	}
 	for _, row := range d.sHist {
-		if err := binary.Write(bw, binary.LittleEndian, row); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, row); err != nil {
 			return err
 		}
 	}
@@ -82,29 +119,45 @@ func (d *Decomposer) SaveState(w io.Writer) error {
 			if err := writeU64(uint64(len(nz))); err != nil {
 				return err
 			}
-			if err := binary.Write(bw, binary.LittleEndian, nz); err != nil {
+			if err := binary.Write(cw, binary.LittleEndian, nz); err != nil {
 				return err
 			}
 		}
+	}
+	// CRC footer over magic + payload (not hashed itself).
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
 // RestoreState loads a checkpoint written by SaveState into this
 // decomposer. The decomposer must have been created with the same dims
-// and rank; mismatches are rejected.
+// and rank; mismatches, truncations, and (for v2) checksum failures are
+// rejected, leaving a partially overwritten but structurally intact
+// decomposer — callers recovering from a bad checkpoint should restore
+// another or create a fresh decomposer. Every length field is validated
+// against the receiver before it drives an allocation, so arbitrary
+// (fuzzed) input cannot trigger huge allocations.
 func (d *Decomposer) RestoreState(r io.Reader) error {
 	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
 	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
 		return fmt.Errorf("core: reading checkpoint magic: %w", err)
 	}
-	if magic != stateMagic {
+	var withCRC bool
+	switch magic {
+	case stateMagic:
+		withCRC = true
+	case stateMagicV1:
+		withCRC = false
+	default:
 		return fmt.Errorf("core: bad checkpoint magic %q", magic)
 	}
 	readU64 := func() (uint64, error) {
 		var v uint64
-		err := binary.Read(br, binary.LittleEndian, &v)
+		err := binary.Read(cr, binary.LittleEndian, &v)
 		return v, err
 	}
 	n, err := readU64()
@@ -135,20 +188,20 @@ func (d *Decomposer) RestoreState(r io.Reader) error {
 		return err
 	}
 	for m := 0; m < d.n; m++ {
-		if err := readMatrix(br, d.a[m]); err != nil {
+		if err := readMatrix(cr, d.a[m]); err != nil {
 			return err
 		}
-		if err := readMatrix(br, d.c[m]); err != nil {
+		if err := readMatrix(cr, d.c[m]); err != nil {
 			return err
 		}
-		if err := readMatrix(br, d.cz[m]); err != nil {
+		if err := readMatrix(cr, d.cz[m]); err != nil {
 			return err
 		}
 	}
-	if err := readMatrix(br, d.g); err != nil {
+	if err := readMatrix(cr, d.g); err != nil {
 		return err
 	}
-	if err := binary.Read(br, binary.LittleEndian, d.s); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, d.s); err != nil {
 		return err
 	}
 	histLen, err := readU64()
@@ -158,22 +211,26 @@ func (d *Decomposer) RestoreState(r io.Reader) error {
 	if histLen != t {
 		return fmt.Errorf("core: checkpoint has %d temporal rows for t=%d", histLen, t)
 	}
-	d.sHist = make([][]float64, histLen)
-	for i := range d.sHist {
+	// Rows are appended as they arrive instead of allocating histLen
+	// slots up front: a corrupt header claiming an astronomical t fails
+	// at EOF after reading only what the input actually contains.
+	sHist := make([][]float64, 0, min(int(histLen), 1024))
+	for i := uint64(0); i < histLen; i++ {
 		row := make([]float64, d.k)
-		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+		if err := binary.Read(cr, binary.LittleEndian, row); err != nil {
 			return err
 		}
-		d.sHist[i] = row
+		sHist = append(sHist, row)
 	}
 	hasNZ, err := readU64()
 	if err != nil {
 		return err
 	}
-	if hasNZ == 0 {
-		d.prevNZ = nil
-	} else {
-		d.prevNZ = make([][]int32, d.n)
+	var prevNZ [][]int32
+	switch hasNZ {
+	case 0:
+	case 1:
+		prevNZ = make([][]int32, d.n)
 		for m := 0; m < d.n; m++ {
 			cnt, err := readU64()
 			if err != nil {
@@ -183,12 +240,26 @@ func (d *Decomposer) RestoreState(r io.Reader) error {
 				return fmt.Errorf("core: checkpoint nz set of mode %d has %d entries for dim %d", m, cnt, d.dims[m])
 			}
 			nz := make([]int32, cnt)
-			if err := binary.Read(br, binary.LittleEndian, nz); err != nil {
+			if err := binary.Read(cr, binary.LittleEndian, nz); err != nil {
 				return err
 			}
-			d.prevNZ[m] = nz
+			prevNZ[m] = nz
+		}
+	default:
+		return fmt.Errorf("core: checkpoint nz presence flag %d is not 0 or 1", hasNZ)
+	}
+	if withCRC {
+		sum := cr.crc // everything hashed so far: magic + payload
+		var footer uint32
+		if err := binary.Read(br, binary.LittleEndian, &footer); err != nil {
+			return fmt.Errorf("core: reading checkpoint checksum: %w", err)
+		}
+		if footer != sum {
+			return fmt.Errorf("core: checkpoint checksum mismatch (stored %08x, computed %08x)", footer, sum)
 		}
 	}
+	d.sHist = sHist
+	d.prevNZ = prevNZ
 	d.t = int(t)
 	return nil
 }

@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError carries a panic recovered inside a worker (pooled or
+// spawned) together with the panicking goroutine's stack. The dispatch
+// primitives re-panic with it on the calling goroutine once all workers
+// of the operation have finished, so one bad kernel body cannot kill
+// the process from a detached goroutine — callers (core.ProcessSlice)
+// recover it and surface an error.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+// Error formats the panic value and stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes a wrapped error panic value for errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// newPanicError captures the current stack; it must be called from the
+// deferred recover of the panicking goroutine so the panicking frames
+// are still live.
+func newPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe // nested dispatch already wrapped it
+	}
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// panicTrap records the first panic among the workers of one operation.
+type panicTrap struct {
+	mu  sync.Mutex
+	err *PanicError
+}
+
+// catch must be deferred directly by the worker body wrapper.
+func (t *panicTrap) catch() {
+	if r := recover(); r != nil {
+		pe := newPanicError(r)
+		t.mu.Lock()
+		if t.err == nil {
+			t.err = pe
+		}
+		t.mu.Unlock()
+	}
+}
+
+// take returns and clears the recorded panic.
+func (t *panicTrap) take() *PanicError {
+	t.mu.Lock()
+	pe := t.err
+	t.err = nil
+	t.mu.Unlock()
+	return pe
+}
+
+// rethrow propagates the recorded panic on the calling goroutine.
+func (t *panicTrap) rethrow() {
+	if pe := t.take(); pe != nil {
+		panic(pe)
+	}
+}

@@ -60,6 +60,11 @@ type Pool struct {
 	// Pool-owned reduction arenas, one entry per worker.
 	f64s []float64
 	accs [][]float64
+
+	// trap records the first worker panic of the current operation; the
+	// dispatching primitive re-panics with it on the caller after all
+	// workers finish, keeping parked goroutines alive.
+	trap panicTrap
 }
 
 // NewPool creates a pool with the given number of workers (≤0 means
@@ -133,8 +138,12 @@ func workerRange(n, active, w int) Range {
 	return Range{Lo: lo, Hi: lo + size}
 }
 
-// runWorker executes worker w's share of the current operation.
+// runWorker executes worker w's share of the current operation. A panic
+// in the body is recorded in the pool's trap instead of unwinding the
+// worker goroutine (which would deadlock the dispatcher and kill the
+// process); the remaining workers complete their ranges normally.
 func (p *Pool) runWorker(w int) {
+	defer p.trap.catch()
 	switch p.kind {
 	case opFor:
 		p.fn(p.ctx, w, workerRange(p.n, p.active, w))
@@ -194,7 +203,11 @@ func (p *Pool) Do(n, workers int, ctx any, fn Body) {
 	p.kind, p.n, p.active, p.ctx, p.fn = opFor, n, workers, ctx, fn
 	p.dispatch()
 	p.clear()
+	pe := p.trap.take()
 	p.mu.Unlock()
+	if pe != nil {
+		panic(pe)
+	}
 }
 
 // DoChunked executes fn over [0,n) in fixed-size chunks distributed
@@ -219,7 +232,11 @@ func (p *Pool) DoChunked(n, workers, chunk int, ctx any, fn Body) {
 	p.kind, p.n, p.active, p.chunk, p.ctx, p.fn = opChunked, n, workers, chunk, ctx, fn
 	p.dispatch()
 	p.clear()
+	pe := p.trap.take()
 	p.mu.Unlock()
+	if pe != nil {
+		panic(pe)
+	}
 }
 
 // DoReduceFloat64 runs fn on a static partition of [0,n) and sums the
@@ -243,7 +260,11 @@ func (p *Pool) DoReduceFloat64(n, workers int, ctx any, fn ReduceBody) float64 {
 		sum += p.f64s[w]
 	}
 	p.clear()
+	pe := p.trap.take()
 	p.mu.Unlock()
+	if pe != nil {
+		panic(pe)
+	}
 	return sum
 }
 
@@ -283,7 +304,11 @@ func (p *Pool) DoReduceVecInto(dst []float64, n, workers int, ctx any, fn Reduce
 		}
 	}
 	p.clear()
+	pe := p.trap.take()
 	p.mu.Unlock()
+	if pe != nil {
+		panic(pe)
+	}
 }
 
 // --- spawn-per-call fallbacks ------------------------------------------
@@ -294,21 +319,29 @@ func (p *Pool) DoReduceVecInto(dst []float64, n, workers int, ctx any, fn Reduce
 // reductions — but each call spawns goroutines and allocates.
 
 func spawnDo(n, workers int, ctx any, fn Body) {
+	var trap panicTrap
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer trap.catch()
 			fn(ctx, w, workerRange(n, workers, w))
 		}(w)
 	}
-	fn(ctx, 0, workerRange(n, workers, 0))
+	func() {
+		defer trap.catch()
+		fn(ctx, 0, workerRange(n, workers, 0))
+	}()
 	wg.Wait()
+	trap.rethrow()
 }
 
 func spawnDoChunked(n, workers, chunk int, ctx any, fn Body) {
+	var trap panicTrap
 	var wg sync.WaitGroup
 	run := func(w int) {
+		defer trap.catch()
 		step := workers * chunk
 		for lo := w * chunk; lo < n; lo += step {
 			hi := lo + chunk
@@ -327,20 +360,27 @@ func spawnDoChunked(n, workers, chunk int, ctx any, fn Body) {
 	}
 	run(0)
 	wg.Wait()
+	trap.rethrow()
 }
 
 func spawnReduceFloat64(n, workers int, ctx any, fn ReduceBody) float64 {
+	var trap panicTrap
 	partials := make([]float64, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for w := 1; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer trap.catch()
 			partials[w] = fn(ctx, w, workerRange(n, workers, w))
 		}(w)
 	}
-	partials[0] = fn(ctx, 0, workerRange(n, workers, 0))
+	func() {
+		defer trap.catch()
+		partials[0] = fn(ctx, 0, workerRange(n, workers, 0))
+	}()
 	wg.Wait()
+	trap.rethrow()
 	sum := 0.0
 	for _, v := range partials {
 		sum += v
@@ -349,6 +389,7 @@ func spawnReduceFloat64(n, workers int, ctx any, fn ReduceBody) float64 {
 }
 
 func spawnReduceVecInto(dst []float64, n, workers int, ctx any, fn ReduceVecBody) {
+	var trap panicTrap
 	dim := len(dst)
 	partials := make([][]float64, workers)
 	for w := range partials {
@@ -359,11 +400,16 @@ func spawnReduceVecInto(dst []float64, n, workers int, ctx any, fn ReduceVecBody
 	for w := 1; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer trap.catch()
 			fn(ctx, w, workerRange(n, workers, w), partials[w])
 		}(w)
 	}
-	fn(ctx, 0, workerRange(n, workers, 0), partials[0])
+	func() {
+		defer trap.catch()
+		fn(ctx, 0, workerRange(n, workers, 0), partials[0])
+	}()
 	wg.Wait()
+	trap.rethrow()
 	for _, p := range partials {
 		for i, v := range p {
 			dst[i] += v

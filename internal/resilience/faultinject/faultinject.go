@@ -1,0 +1,138 @@
+// Package faultinject is the deterministic fault harness for the
+// resilience layer. It corrupts slice data (NaN values, out-of-range
+// coordinates), damages checkpoint files (truncation, bit flips), and
+// compiles per-slice fault schedules into resilience.Hook callbacks
+// (forced non-SPD factorizations, kernel panics, stalls). All
+// randomness flows through an explicitly seeded SplitMix64 generator,
+// so every chaos test replays bit-identically.
+//
+// It is a test harness: nothing in this package belongs in a
+// production configuration.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"spstream/internal/dense"
+	"spstream/internal/resilience"
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+)
+
+// Injector drives the randomized corruptions from one deterministic
+// seed.
+type Injector struct {
+	rng *synth.RNG
+}
+
+// New creates an injector from a seed.
+func New(seed uint64) *Injector { return &Injector{rng: synth.NewRNG(seed)} }
+
+// CorruptValues replaces up to count randomly chosen nonzero values of
+// x with NaN (in place) and returns how many entries were written.
+// Duplicates may land on the same entry; the slice is guaranteed to
+// contain at least one NaN when count > 0 and the slice is non-empty.
+func (in *Injector) CorruptValues(x *sptensor.Tensor, count int) int {
+	if x.NNZ() == 0 || count <= 0 {
+		return 0
+	}
+	for i := 0; i < count; i++ {
+		x.Vals[in.rng.Intn(x.NNZ())] = math.NaN()
+	}
+	return count
+}
+
+// CorruptCoord sets one randomly chosen coordinate of x out of range
+// (≥ the mode length), the corruption class that panics inside the
+// MTTKRP kernels when it reaches them unscanned. It reports whether a
+// coordinate was corrupted.
+func (in *Injector) CorruptCoord(x *sptensor.Tensor) bool {
+	if x.NNZ() == 0 || x.NModes() == 0 {
+		return false
+	}
+	m := in.rng.Intn(x.NModes())
+	e := in.rng.Intn(x.NNZ())
+	x.Inds[m][e] = int32(x.Dims[m] + in.rng.Intn(16))
+	return true
+}
+
+// TruncateFile chops the last n bytes off the file — the shape a crash
+// mid-write or a torn copy leaves behind.
+func TruncateFile(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// BitFlip flips one randomly chosen bit of the file in place — silent
+// at-rest corruption that only an integrity footer catches.
+func (in *Injector) BitFlip(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("faultinject: %s is empty, nothing to flip", path)
+	}
+	bit := in.rng.Intn(len(data) * 8)
+	data[bit/8] ^= 1 << (bit % 8)
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Plan is a deterministic per-slice fault schedule. Compile it into a
+// hook with Hook and install that on resilience.Config.FaultHook.
+type Plan struct {
+	// NotSPD forces the first n Φ factorizations of the listed slice
+	// (first attempt only) to fail with dense.ErrNotSPD, exercising the
+	// ridge-escalation ladder against a Gram that is actually fine.
+	NotSPD map[int]int
+	// PanicAt panics once at the listed slice's first iteration
+	// boundary (first attempt only), exercising panic containment and
+	// rollback; a retry of the same slice succeeds.
+	PanicAt map[int]bool
+	// StallAt sleeps for the given duration at every iteration boundary
+	// of the listed slice (first attempt only), exercising the
+	// per-slice deadline.
+	StallAt map[int]time.Duration
+}
+
+// Hook compiles the plan into a stateful resilience.Hook. Each call
+// creates independent consumption state, so one plan can arm several
+// decomposers.
+func (p Plan) Hook() resilience.Hook {
+	notSPD := make(map[int]int, len(p.NotSPD))
+	for t, n := range p.NotSPD {
+		notSPD[t] = n
+	}
+	panicked := make(map[int]bool, len(p.PanicAt))
+	return func(f resilience.Fault) error {
+		switch f.Stage {
+		case resilience.StageFactorize:
+			if f.Attempt == 0 && notSPD[f.Slice] > 0 {
+				notSPD[f.Slice]--
+				return fmt.Errorf("faultinject: forced non-SPD at slice %d iter %d: %w", f.Slice, f.Iter, dense.ErrNotSPD)
+			}
+		case resilience.StageIterate:
+			if f.Attempt != 0 {
+				return nil
+			}
+			if p.PanicAt[f.Slice] && !panicked[f.Slice] {
+				panicked[f.Slice] = true
+				panic(fmt.Sprintf("faultinject: forced panic at slice %d iter %d", f.Slice, f.Iter))
+			}
+			if d := p.StallAt[f.Slice]; d > 0 {
+				time.Sleep(d)
+			}
+		}
+		return nil
+	}
+}

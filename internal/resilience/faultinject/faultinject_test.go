@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spstream/internal/dense"
+	"spstream/internal/resilience"
+	"spstream/internal/sptensor"
+)
+
+func testTensor() *sptensor.Tensor {
+	x := sptensor.New(4, 5)
+	x.Append([]int32{0, 1}, 1.5)
+	x.Append([]int32{2, 3}, -2.0)
+	x.Append([]int32{3, 4}, 0.5)
+	return x
+}
+
+func TestCorruptValuesDeterministic(t *testing.T) {
+	a, b := testTensor(), testTensor()
+	New(7).CorruptValues(a, 2)
+	New(7).CorruptValues(b, 2)
+	nan := 0
+	for e := range a.Vals {
+		if math.IsNaN(a.Vals[e]) != math.IsNaN(b.Vals[e]) {
+			t.Fatalf("entry %d differs between same-seed injectors", e)
+		}
+		if math.IsNaN(a.Vals[e]) {
+			nan++
+		}
+	}
+	if nan == 0 {
+		t.Fatal("CorruptValues(2) left no NaN")
+	}
+}
+
+func TestCorruptCoordGoesOutOfRange(t *testing.T) {
+	x := testTensor()
+	if !New(3).CorruptCoord(x) {
+		t.Fatal("CorruptCoord reported no corruption")
+	}
+	if err := x.Validate(); err == nil {
+		t.Fatal("corrupted tensor still validates")
+	}
+}
+
+func TestFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateFile(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "012345" {
+		t.Fatalf("truncated to %q", data)
+	}
+	if err := New(1).BitFlip(path); err != nil {
+		t.Fatal(err)
+	}
+	flipped, _ := os.ReadFile(path)
+	diff := 0
+	for i := range flipped {
+		if flipped[i] != "012345"[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("BitFlip changed %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestPlanHook(t *testing.T) {
+	plan := Plan{
+		NotSPD:  map[int]int{3: 2},
+		PanicAt: map[int]bool{5: true},
+	}
+	hook := plan.Hook()
+	// Forced non-SPD is consumed exactly twice, first attempt only.
+	for i := 0; i < 2; i++ {
+		err := hook(resilience.Fault{Stage: resilience.StageFactorize, Slice: 3})
+		if !errors.Is(err, dense.ErrNotSPD) {
+			t.Fatalf("call %d: got %v, want ErrNotSPD", i, err)
+		}
+	}
+	if err := hook(resilience.Fault{Stage: resilience.StageFactorize, Slice: 3}); err != nil {
+		t.Fatalf("third call still fails: %v", err)
+	}
+	if err := hook(resilience.Fault{Stage: resilience.StageFactorize, Slice: 3, Attempt: 1}); err != nil {
+		t.Fatalf("retry attempt should not be failed: %v", err)
+	}
+	// The panic fires once, then the slice is clean.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic at scheduled slice")
+			}
+		}()
+		hook(resilience.Fault{Stage: resilience.StageIterate, Slice: 5, Iter: 1})
+	}()
+	if err := hook(resilience.Fault{Stage: resilience.StageIterate, Slice: 5, Iter: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Independent consumption state per compiled hook.
+	if err := plan.Hook()(resilience.Fault{Stage: resilience.StageFactorize, Slice: 3}); !errors.Is(err, dense.ErrNotSPD) {
+		t.Fatal("second compiled hook shares state with the first")
+	}
+}

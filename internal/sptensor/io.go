@@ -9,6 +9,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"spstream/internal/resilience"
 )
 
 // ReadTNS parses the FROSTT ".tns" text format: one nonzero per line as
@@ -112,17 +114,12 @@ func ReadTNSFile(path string) (*Tensor, error) {
 	return ReadTNS(f, nil)
 }
 
-// WriteTNSFile writes a .tns file to disk.
+// WriteTNSFile writes a .tns file to disk atomically (temp file +
+// fsync + rename), so an interrupted write never leaves a torn file.
 func WriteTNSFile(path string, t *Tensor) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteTNS(f, t); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return resilience.AtomicWriteFile(path, func(w io.Writer) error {
+		return WriteTNS(w, t)
+	})
 }
 
 // binMagic identifies the binary tensor container.

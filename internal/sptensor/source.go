@@ -1,13 +1,23 @@
 package sptensor
 
+import "math"
+
 // ChannelSource adapts a Go channel of slices to the SliceSource
 // interface, for live ingestion pipelines: a producer goroutine builds
 // slices (e.g. by windowing incoming events) and the decomposer
 // consumes them with ProcessStream. Closing the channel ends the
 // stream.
+//
+// Slices arriving from a live producer are untrusted: Next drops any
+// slice whose shape does not match the declared dims or whose
+// coordinates are out of range (either would panic inside the compute
+// kernels) and counts the drop in Rejected. Value-level validation
+// (NaN/Inf) is the resilience layer's input scan, not the source's —
+// the source only guarantees structural safety.
 type ChannelSource struct {
-	dims []int
-	ch   <-chan *Tensor
+	dims     []int
+	ch       <-chan *Tensor
+	rejected int
 }
 
 // NewChannelSource wraps a channel of slices with the given mode
@@ -19,14 +29,37 @@ func NewChannelSource(dims []int, ch <-chan *Tensor) *ChannelSource {
 // Dims implements SliceSource.
 func (c *ChannelSource) Dims() []int { return c.dims }
 
-// Next implements SliceSource; it blocks until a slice arrives or the
-// channel closes (returning nil).
+// Rejected returns how many structurally invalid slices Next has
+// dropped so far.
+func (c *ChannelSource) Rejected() int { return c.rejected }
+
+// Next implements SliceSource; it blocks until a structurally valid
+// slice arrives or the channel closes (returning nil). Invalid slices
+// are dropped and counted.
 func (c *ChannelSource) Next() *Tensor {
-	x, ok := <-c.ch
-	if !ok {
-		return nil
+	for {
+		x, ok := <-c.ch
+		if !ok {
+			return nil
+		}
+		if !c.valid(x) {
+			c.rejected++
+			continue
+		}
+		return x
 	}
-	return x
+}
+
+func (c *ChannelSource) valid(x *Tensor) bool {
+	if x == nil || x.NModes() != len(c.dims) {
+		return false
+	}
+	for m, dim := range x.Dims {
+		if dim != c.dims[m] {
+			return false
+		}
+	}
+	return x.Validate() == nil
 }
 
 // Event is one timestamped nonzero for the window accumulator.
@@ -39,10 +72,16 @@ type Event struct {
 // WindowAccumulator groups events into fixed-size time windows and
 // emits one coalesced slice per window — the standard way to turn an
 // event feed (log lines, messages, flows) into a tensor stream.
+//
+// Events are untrusted input: an out-of-range or wrong-arity
+// coordinate would panic inside the compute kernels, and a non-finite
+// value would poison every factor. Add drops such events and counts
+// them in Rejected instead of admitting them to the window.
 type WindowAccumulator struct {
-	dims    []int
-	current *Tensor
-	count   int
+	dims     []int
+	current  *Tensor
+	count    int
+	rejected int
 	// WindowEvents is the number of events per emitted slice.
 	WindowEvents int
 }
@@ -64,9 +103,32 @@ func (w *WindowAccumulator) reset() {
 	w.count = 0
 }
 
+// Rejected returns how many malformed events Add has dropped so far.
+func (w *WindowAccumulator) Rejected() int { return w.rejected }
+
+// accept reports whether the event is safe to admit: correct arity,
+// in-range coordinates, finite value.
+func (w *WindowAccumulator) accept(e Event) bool {
+	if len(e.Coord) != len(w.dims) {
+		return false
+	}
+	for m, c := range e.Coord {
+		if c < 0 || int(c) >= w.dims[m] {
+			return false
+		}
+	}
+	return !math.IsNaN(e.Value) && !math.IsInf(e.Value, 0)
+}
+
 // Add appends one event; when the window fills, the coalesced slice is
-// returned (and a fresh window started), otherwise nil.
+// returned (and a fresh window started), otherwise nil. Malformed
+// events are dropped, counted in Rejected, and do not advance the
+// window.
 func (w *WindowAccumulator) Add(e Event) *Tensor {
+	if !w.accept(e) {
+		w.rejected++
+		return nil
+	}
 	w.current.Append(e.Coord, e.Value)
 	w.count++
 	if w.count < w.WindowEvents {

@@ -1,6 +1,9 @@
 package sptensor
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestChannelSource(t *testing.T) {
 	ch := make(chan *Tensor, 2)
@@ -97,5 +100,64 @@ func TestChannelSourceEndToEnd(t *testing.T) {
 	}
 	if events != 10 {
 		t.Fatalf("events = %d", events)
+	}
+}
+
+func TestWindowAccumulatorRejectsMalformedEvents(t *testing.T) {
+	w := NewWindowAccumulator([]int{4, 4}, 2)
+	bad := []Event{
+		{Coord: []int32{0}, Value: 1},     // wrong arity
+		{Coord: []int32{4, 0}, Value: 1},  // out of range
+		{Coord: []int32{-1, 0}, Value: 1}, // negative
+		{Coord: []int32{0, 0}, Value: math.NaN()},
+		{Coord: []int32{0, 0}, Value: math.Inf(1)},
+	}
+	for i, e := range bad {
+		if out := w.Add(e); out != nil {
+			t.Fatalf("bad event %d emitted a slice", i)
+		}
+	}
+	if w.Rejected() != len(bad) {
+		t.Fatalf("Rejected = %d, want %d", w.Rejected(), len(bad))
+	}
+	// Bad events do not advance the window: two good events still fill it.
+	if out := w.Add(Event{Coord: []int32{1, 1}, Value: 2}); out != nil {
+		t.Fatal("window emitted early")
+	}
+	out := w.Add(Event{Coord: []int32{2, 2}, Value: 3})
+	if out == nil || out.NNZ() != 2 {
+		t.Fatalf("good events lost: %v", out)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelSourceRejectsInvalidSlices(t *testing.T) {
+	ch := make(chan *Tensor, 4)
+	src := NewChannelSource([]int{3, 3}, ch)
+
+	wrongShape := New(3, 4)
+	corrupt := New(3, 3)
+	corrupt.Append([]int32{0, 0}, 1)
+	corrupt.Inds[0][0] = 7 // out of range
+	good := New(3, 3)
+	good.Append([]int32{1, 1}, 2)
+
+	ch <- wrongShape
+	ch <- nil
+	ch <- corrupt
+	ch <- good
+	close(ch)
+
+	got := src.Next()
+	if got == nil || got.NNZ() != 1 || got.Vals[0] != 2 {
+		t.Fatalf("Next did not skip to the valid slice: %v", got)
+	}
+	if src.Rejected() != 3 {
+		t.Fatalf("Rejected = %d, want 3", src.Rejected())
+	}
+	if src.Next() != nil {
+		t.Fatal("closed channel should yield nil")
 	}
 }

@@ -27,12 +27,12 @@ package spstream
 
 import (
 	"io"
-	"os"
 
 	"spstream/internal/admm"
 	"spstream/internal/baselines"
 	"spstream/internal/core"
 	"spstream/internal/dense"
+	"spstream/internal/resilience"
 	"spstream/internal/sptensor"
 	"spstream/internal/synth"
 	"spstream/internal/trace"
@@ -71,7 +71,55 @@ type (
 	WindowAccumulator = sptensor.WindowAccumulator
 	// Event is one timestamped nonzero for the window accumulator.
 	Event = sptensor.Event
+	// ResilienceConfig enables guarded slice processing (recovery
+	// ladder, health checks, rollback, policies) via
+	// Options.Resilience.
+	ResilienceConfig = resilience.Config
+	// ResiliencePolicy selects what happens after in-slice recovery
+	// fails: AbortOnError, RetrySlice, or SkipSlice.
+	ResiliencePolicy = resilience.Policy
+	// ResilienceStats are the per-stream recovery counters
+	// (Decomposer.ResilienceStats).
+	ResilienceStats = resilience.Stats
+	// CheckpointManager writes crash-safe periodic checkpoints into a
+	// directory and restores the newest valid one.
+	CheckpointManager = resilience.Manager
 )
+
+// Resilience policies (see ResiliencePolicy).
+const (
+	// AbortOnError returns the failure to the caller (default).
+	AbortOnError = resilience.Abort
+	// RetrySlice re-runs the failed slice from the last-good snapshot.
+	RetrySlice = resilience.RetrySlice
+	// SkipSlice drops the failed slice and continues the stream.
+	SkipSlice = resilience.SkipSlice
+)
+
+// Resilience sentinel errors, matched with errors.Is.
+var (
+	// ErrDiverged reports a failed post-slice numerical health check.
+	ErrDiverged = resilience.ErrDiverged
+	// ErrSliceSkipped wraps the error of a slice dropped under
+	// SkipSlice.
+	ErrSliceSkipped = resilience.ErrSliceSkipped
+	// ErrNoCheckpoint reports a directory with no restorable
+	// checkpoint.
+	ErrNoCheckpoint = resilience.ErrNoCheckpoint
+)
+
+// NewCheckpointManager creates (if needed) dir and returns a manager
+// checkpointing every `every` slices, retaining the newest `keep`
+// files.
+func NewCheckpointManager(dir string, every, keep int) (*CheckpointManager, error) {
+	return resilience.NewManager(dir, every, keep)
+}
+
+// RestoreNewestCheckpoint restores the newest valid checkpoint under
+// dir into the decomposer, returning the path used.
+func RestoreNewestCheckpoint(dir string, d *Decomposer) (string, error) {
+	return resilience.RestoreNewest(dir, d.RestoreState)
+}
 
 // NewChannelSource wraps a channel of slices with the given mode
 // lengths.
@@ -193,15 +241,11 @@ func WriteFactorsTNS(w io.Writer, d *Decomposer) error {
 	return nil
 }
 
-// SaveFactors writes WriteFactorsTNS output to a file.
+// SaveFactors writes WriteFactorsTNS output to a file atomically (temp
+// file + fsync + rename), so an interrupted write never leaves a torn
+// factor file.
 func SaveFactors(path string, d *Decomposer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteFactorsTNS(f, d); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return resilience.AtomicWriteFile(path, func(w io.Writer) error {
+		return WriteFactorsTNS(w, d)
+	})
 }
