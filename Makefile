@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench repro repro-measure fuzz clean
+.PHONY: all build test race cover bench lint repro repro-measure fuzz clean
 
 all: build test
 
@@ -22,6 +22,13 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Static analysis beyond vet. The extra tools are optional locally (CI
+# installs them); absent tools are skipped, not failed.
+lint:
+	$(GO) vet ./...
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping"
+	@command -v govulncheck >/dev/null 2>&1 && govulncheck ./... || echo "govulncheck not installed; skipping"
+
 # Regenerate every table and figure of the paper (model mode) plus the
 # machine-readable CSV series under docs/csv/.
 repro:
@@ -35,6 +42,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadTNS -fuzztime 30s ./internal/sptensor/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/sptensor/
 	$(GO) test -fuzz FuzzCoalesce -fuzztime 30s ./internal/sptensor/
+	$(GO) test -fuzz FuzzParseEvent -fuzztime 30s ./cmd/watch/
 
 clean:
 	$(GO) clean -testcache -fuzzcache

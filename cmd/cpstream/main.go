@@ -60,6 +60,10 @@ func main() {
 		ckptKeep   = flag.Int("checkpoint-keep", 2, "periodic checkpoints retained (with -checkpoint-dir)")
 		onError    = flag.String("on-error", "", "slice failure policy: abort, retry, skip (enables guarded processing)")
 		sliceTmout = flag.Duration("slice-timeout", 0, "per-slice deadline (e.g. 30s; 0 = none)")
+		shedPolicy = flag.String("shed-policy", "", "route slices through the bounded ingest pipeline with this full-queue policy: block, drop-newest, drop-oldest, coalesce")
+		maxLag     = flag.Duration("max-lag", 0, "shed slices older than this at solve time (enables the ingest pipeline; 0 = never)")
+		degrade    = flag.Bool("degrade", false, "degrade model quality under sustained overload (enables the ingest pipeline)")
+		drainTmout = flag.Duration("drain-timeout", 30*time.Second, "max time to flush the ingest backlog on shutdown")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -172,47 +176,113 @@ func main() {
 		}
 	}
 	interrupted := false
-	for {
-		if ctx.Err() != nil {
-			interrupted = true
-			break
+	if *shedPolicy != "" || *maxLag > 0 || *degrade {
+		// Overload-robust path: slices go through the bounded ingest
+		// pipeline instead of the direct loop.
+		policy := spstream.ShedBlock
+		if *shedPolicy != "" {
+			policy, err = spstream.ParseShedPolicy(*shedPolicy)
+			if err != nil {
+				fatal(err)
+			}
 		}
-		x := src.Next()
-		if x == nil {
-			break
+		pcfg := spstream.IngestConfig{
+			Policy:       policy,
+			MaxLag:       *maxLag,
+			DrainTimeout: *drainTmout,
+			OnResult: func(res spstream.SliceResult) {
+				fitStr := "-"
+				if *fit {
+					fitStr = fmt.Sprintf("%.4f", res.Fit)
+				}
+				fmt.Printf("%6d %10d %6d %12.6g %10s %10s %8v\n",
+					res.T, res.NNZ, res.Iters, res.Delta, fitStr, "-", res.Converged)
+				if rcfg != nil && rcfg.Checkpoint != nil {
+					// Consumer goroutine: the decomposer is quiescent
+					// between slices here.
+					if _, err := rcfg.Checkpoint.MaybeWrite(dec.T(), dec); err != nil {
+						fmt.Fprintf(os.Stderr, "cpstream: checkpoint: %v\n", err)
+					}
+				}
+			},
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "cpstream: %v\n", err)
+			},
 		}
-		if *maxSlices > 0 && processed >= *maxSlices {
-			break
+		if *degrade {
+			pcfg.Degrade = &spstream.DegradeConfig{MaxLag: *maxLag}
 		}
-		start := time.Now()
-		res, err := dec.ProcessSliceContext(ctx, x)
-		switch {
-		case err == nil:
-		case errors.Is(err, spstream.ErrSliceSkipped):
-			fmt.Fprintf(os.Stderr, "cpstream: %v\n", err)
-		case errors.Is(err, context.Canceled):
-			interrupted = true
-		default:
+		p, err := spstream.NewIngestPipeline(dec, pcfg)
+		if err != nil {
 			fatal(err)
 		}
-		if interrupted {
-			break
+		// The signal stops admissions; the backlog still drains
+		// (bounded by -drain-timeout).
+		p.Start(context.Background())
+		offered := 0
+		for {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
+			x := src.Next()
+			if x == nil {
+				break
+			}
+			if *maxSlices > 0 && offered >= *maxSlices {
+				break
+			}
+			if err := p.Offer(x); err != nil {
+				break
+			}
+			offered++
 		}
-		elapsed := time.Since(start)
-		fitStr := "-"
-		if *fit {
-			fitStr = fmt.Sprintf("%.4f", res.Fit)
-		}
-		status := fmt.Sprintf("%v", res.Converged)
-		if res.Skipped {
-			status = "skipped"
-		}
-		fmt.Printf("%6d %10d %6d %12.6g %10s %10s %8s\n",
-			res.T, res.NNZ, res.Iters, res.Delta, fitStr, elapsed.Round(time.Microsecond), status)
-		processed++
-		if rcfg != nil && rcfg.Checkpoint != nil && !res.Skipped {
-			if _, err := rcfg.Checkpoint.MaybeWrite(dec.T(), dec); err != nil {
-				fmt.Fprintf(os.Stderr, "cpstream: checkpoint: %v\n", err)
+		snap := p.Drain(context.Background())
+		processed = int(snap.Processed)
+		fmt.Printf("ingest: %s\n", snap.String())
+	} else {
+		for {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
+			x := src.Next()
+			if x == nil {
+				break
+			}
+			if *maxSlices > 0 && processed >= *maxSlices {
+				break
+			}
+			start := time.Now()
+			res, err := dec.ProcessSliceContext(ctx, x)
+			switch {
+			case err == nil:
+			case errors.Is(err, spstream.ErrSliceSkipped):
+				fmt.Fprintf(os.Stderr, "cpstream: %v\n", err)
+			case errors.Is(err, context.Canceled):
+				interrupted = true
+			default:
+				fatal(err)
+			}
+			if interrupted {
+				break
+			}
+			elapsed := time.Since(start)
+			fitStr := "-"
+			if *fit {
+				fitStr = fmt.Sprintf("%.4f", res.Fit)
+			}
+			status := fmt.Sprintf("%v", res.Converged)
+			if res.Skipped {
+				status = "skipped"
+			}
+			fmt.Printf("%6d %10d %6d %12.6g %10s %10s %8s\n",
+				res.T, res.NNZ, res.Iters, res.Delta, fitStr, elapsed.Round(time.Microsecond), status)
+			processed++
+			if rcfg != nil && rcfg.Checkpoint != nil && !res.Skipped {
+				if _, err := rcfg.Checkpoint.MaybeWrite(dec.T(), dec); err != nil {
+					fmt.Fprintf(os.Stderr, "cpstream: checkpoint: %v\n", err)
+				}
 			}
 		}
 	}
@@ -222,8 +292,9 @@ func main() {
 	}
 	if rcfg != nil {
 		st := dec.ResilienceStats()
-		fmt.Printf("resilience: retries=%d skips=%d rollbacks=%d ridge-recoveries=%d panics=%d rejects=%d timeouts=%d\n",
-			st.SliceRetries, st.SlicesSkipped, st.Rollbacks, st.RidgeRecoveries, st.PanicsRecovered, st.InputRejects, st.Timeouts)
+		fmt.Printf("resilience: retries=%d skips=%d rollbacks=%d ridge-recoveries=%d panics=%d rejects=%d timeouts=%d sheds=%d coalesced=%d stale=%d drained=%d\n",
+			st.SliceRetries, st.SlicesSkipped, st.Rollbacks, st.RidgeRecoveries, st.PanicsRecovered, st.InputRejects, st.Timeouts,
+			st.OverloadSheds, st.OverloadCoalesced, st.StaleSheds, st.DrainedSlices)
 	}
 
 	if *breakdown {

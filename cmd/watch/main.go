@@ -5,32 +5,77 @@
 // the end-to-end shape of the monitoring deployments the paper's
 // introduction motivates ("topic monitoring, trend analysis").
 //
+// The feed goes through a bounded ingestion pipeline, so a producer
+// that outruns the solver cannot grow memory without bound: the
+// -shed-policy flag selects what happens to windows the solver cannot
+// keep up with, -max-lag sheds windows that have gone stale in the
+// queue, and -degrade arms the lag-aware controller that trades model
+// quality for throughput under sustained overload (and restores full
+// quality once the queue calms). SIGINT/SIGTERM drain gracefully: the
+// backlog is flushed (bounded by -drain-timeout), a final checkpoint is
+// written when -checkpoint-dir is set, and the overload counters are
+// reported with -stats. A second signal force-quits.
+//
 // Examples:
 //
 //	tensorgen -preset uber -scale 0.1 -o - | watch -dims 24,110,170 -rank 8
-//	tail -f events.log | watch -dims 100,100 -window 5000 -top 3
+//	tail -f events.log | watch -dims 100,100 -window 5000 -top 3 \
+//	    -shed-policy coalesce -max-lag 2s -degrade -stats
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"spstream"
 )
 
+// config is the parsed flag set; run takes it whole so tests can drive
+// every combination without a flag round-trip.
+type config struct {
+	dims          []int
+	window        int
+	rank          int
+	topN          int
+	mu            float64
+	alg           spstream.Algorithm
+	queueCap      int
+	policy        spstream.ShedPolicy
+	maxLag        time.Duration
+	degrade       bool
+	drainTimeout  time.Duration
+	windowTimeout time.Duration
+	checkpointDir string
+	stats         bool
+}
+
 func main() {
 	var (
-		dimsFlag = flag.String("dims", "", "mode lengths of each event's coordinates, comma separated (required)")
-		window   = flag.Int("window", 10000, "events per window/slice")
-		rank     = flag.Int("rank", 8, "decomposition rank")
-		topN     = flag.Int("top", 3, "top rows to print per component")
-		mu       = flag.Float64("mu", 0.95, "forgetting factor")
-		alg      = flag.String("alg", "spcp", "algorithm: baseline, optimized, spcp")
+		dimsFlag  = flag.String("dims", "", "mode lengths of each event's coordinates, comma separated (required)")
+		window    = flag.Int("window", 10000, "events per window/slice")
+		rank      = flag.Int("rank", 8, "decomposition rank")
+		topN      = flag.Int("top", 3, "top rows to print per component")
+		mu        = flag.Float64("mu", 0.95, "forgetting factor")
+		alg       = flag.String("alg", "spcp", "algorithm: baseline, optimized, spcp")
+		queueCap  = flag.Int("queue", 8, "max windows buffered between feed and solver")
+		shed      = flag.String("shed-policy", "block", "full-queue policy: block, drop-newest, drop-oldest, coalesce")
+		maxLag    = flag.Duration("max-lag", 0, "shed windows older than this at solve time (0 = never)")
+		degrade   = flag.Bool("degrade", false, "degrade model quality under sustained overload instead of falling behind")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "max time to flush the backlog on shutdown")
+		windowTO  = flag.Duration("window-timeout", 0, "emit a partial window after this much wall-clock time (0 = count only)")
+		ckptDir   = flag.String("checkpoint-dir", "", "write a crash-safe checkpoint here on graceful shutdown")
+		statsFlag = flag.Bool("stats", false, "print produced/processed/shed/coalesced/rejected counters on exit")
 	)
 	flag.Parse()
 	dims, err := parseDims(*dimsFlag)
@@ -41,70 +86,193 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := run(os.Stdin, os.Stdout, dims, *window, *rank, *topN, *mu, algorithm); err != nil {
+	policy, err := spstream.ParseShedPolicy(*shed)
+	if err != nil {
+		fatal(err)
+	}
+
+	// First signal: graceful drain. Restoring default handling as soon
+	// as it fires means a second signal force-quits a wedged drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	err = run(ctx, os.Stdin, os.Stdout, config{
+		dims:          dims,
+		window:        *window,
+		rank:          *rank,
+		topN:          *topN,
+		mu:            *mu,
+		alg:           algorithm,
+		queueCap:      *queueCap,
+		policy:        policy,
+		maxLag:        *maxLag,
+		degrade:       *degrade,
+		drainTimeout:  *drainTO,
+		windowTimeout: *windowTO,
+		checkpointDir: *ckptDir,
+		stats:         *statsFlag,
+	})
+	if err != nil {
 		fatal(err)
 	}
 }
 
+// lockedWriter serializes output: window summaries arrive from the
+// pipeline's consumer goroutine while rejection warnings come from the
+// producer loop.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
 // run is the testable core: it consumes the event feed from r and
-// writes per-window summaries to w.
-func run(r io.Reader, w io.Writer, dims []int, window, rank, topN int, mu float64, alg spstream.Algorithm) error {
-	dec, err := spstream.New(dims, spstream.Options{
-		Rank:      rank,
-		Algorithm: alg,
-		Mu:        mu,
+// writes per-window summaries to w until EOF or ctx cancellation
+// (signal), then drains gracefully.
+func run(ctx context.Context, r io.Reader, w io.Writer, cfg config) error {
+	out := &lockedWriter{w: w}
+	dec, err := spstream.New(cfg.dims, spstream.Options{
+		Rank:      cfg.rank,
+		Algorithm: cfg.alg,
+		Mu:        cfg.mu,
 		TrackFit:  true,
 		Normalize: true,
 	})
 	if err != nil {
 		return err
 	}
-	acc := spstream.NewWindowAccumulator(dims, window)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	lineNo := 0
-	process := func(slice *spstream.Tensor) error {
-		res, err := dec.ProcessSlice(slice)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "window %d: %d nnz, fit %.4f, %d iterations\n", res.T, res.NNZ, res.Fit, res.Iters)
-		for rankPos, comp := range spstream.RankComponents(dec) {
-			if rankPos >= 2 {
-				break
-			}
-			fmt.Fprintf(w, "  component %d:", comp)
-			for m := range dims {
-				top := spstream.TopRows(dec, m, comp, topN)
-				fmt.Fprintf(w, " mode%d=%s", m, rowList(top))
-			}
-			fmt.Fprintln(w)
-		}
-		return nil
+
+	pcfg := spstream.IngestConfig{
+		QueueCap:     cfg.queueCap,
+		Policy:       cfg.policy,
+		MaxLag:       cfg.maxLag,
+		DrainTimeout: cfg.drainTimeout,
+		OnResult: func(res spstream.SliceResult) {
+			printWindow(out, dec, res, cfg.dims, cfg.topN)
+		},
+		OnError: func(err error) {
+			fmt.Fprintf(out, "window dropped: %v\n", err)
+		},
 	}
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		ev, err := parseEvent(line, dims)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", lineNo, err)
-		}
-		if slice := acc.Add(ev); slice != nil {
-			if err := process(slice); err != nil {
-				return err
-			}
-		}
+	if cfg.degrade {
+		pcfg.Degrade = &spstream.DegradeConfig{MaxLag: cfg.maxLag}
 	}
-	if err := sc.Err(); err != nil {
+	p, err := spstream.NewIngestPipeline(dec, pcfg)
+	if err != nil {
 		return err
 	}
+	// The consumer gets its own context: the signal only stops the
+	// producer, and the backlog still drains (bounded by DrainTimeout).
+	p.Start(context.Background())
+
+	acc := spstream.NewWindowAccumulator(cfg.dims, cfg.window)
+	acc.WindowTimeout = cfg.windowTimeout
+
+	// The scanner runs in its own goroutine so a signal interrupts the
+	// loop even while a read is pending on a quiet feed.
+	lines := make(chan string, 64)
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<16), 1<<22)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
+			}
+		}
+		scanErr <- sc.Err()
+	}()
+
+	var tick <-chan time.Time
+	if cfg.windowTimeout > 0 {
+		ticker := time.NewTicker(cfg.windowTimeout)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	lineNo, rejected := 0, 0
+	interrupted := false
+feed:
+	for {
+		select {
+		case <-ctx.Done():
+			interrupted = true
+			break feed
+		case <-tick:
+			// A sparse feed must not stall a partial window forever.
+			if slice := acc.Poll(); slice != nil {
+				if err := p.Offer(slice); err != nil {
+					break feed
+				}
+			}
+		case line, ok := <-lines:
+			if !ok {
+				break feed
+			}
+			lineNo++
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			ev, err := parseEvent(line, cfg.dims)
+			if err != nil {
+				// A live feed keeps going past garbage; the count is
+				// reported with -stats.
+				rejected++
+				if rejected <= 3 {
+					fmt.Fprintf(out, "rejected line %d: %v\n", lineNo, err)
+				}
+				continue
+			}
+			if cfg.degrade {
+				// The controller widens windows under load; the
+				// accumulator follows between events.
+				acc.SetWindowEvents(cfg.window * p.WindowFactor())
+			}
+			if slice := acc.Add(ev); slice != nil {
+				if err := p.Offer(slice); err != nil {
+					break feed
+				}
+			}
+		}
+	}
+
+	// Graceful drain: flush the partial window, process the backlog,
+	// checkpoint, report.
 	if slice := acc.Flush(); slice != nil {
-		if err := process(slice); err != nil {
+		_ = p.Offer(slice)
+	}
+	snap := p.Drain(context.Background())
+	if interrupted {
+		fmt.Fprintln(out, "interrupted: backlog drained")
+	} else if err := <-scanErr; err != nil {
+		return err
+	}
+	if cfg.checkpointDir != "" && dec.T() > 0 {
+		mgr, err := spstream.NewCheckpointManager(cfg.checkpointDir, 1, 3)
+		if err != nil {
 			return err
 		}
+		path, err := mgr.Write(dec.T(), dec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "checkpoint: %s\n", path)
+	}
+	if cfg.stats {
+		fmt.Fprintf(out, "stats: %s rejected=%d\n", snap.String(), rejected)
 	}
 	if dec.T() == 0 {
 		return fmt.Errorf("no complete windows in the input")
@@ -112,7 +280,27 @@ func run(r io.Reader, w io.Writer, dims []int, window, rank, topN int, mu float6
 	return nil
 }
 
-// parseEvent parses "i j k [value]" with 1-based coordinates.
+// printWindow renders one processed window's summary (called from the
+// pipeline's consumer goroutine).
+func printWindow(w io.Writer, dec *spstream.Decomposer, res spstream.SliceResult, dims []int, topN int) {
+	fmt.Fprintf(w, "window %d: %d nnz, fit %.4f, %d iterations\n", res.T, res.NNZ, res.Fit, res.Iters)
+	for rankPos, comp := range spstream.RankComponents(dec) {
+		if rankPos >= 2 {
+			break
+		}
+		fmt.Fprintf(w, "  component %d:", comp)
+		for m := range dims {
+			top := spstream.TopRows(dec, m, comp, topN)
+			fmt.Fprintf(w, " mode%d=%s", m, rowList(top))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// parseEvent parses "i j k [value]" with 1-based coordinates. Anything
+// malformed — wrong field count, out-of-range or overflowing
+// coordinates, non-finite values — is an error, never a panic: the
+// function is the trust boundary for arbitrary feed input.
 func parseEvent(line string, dims []int) (spstream.Event, error) {
 	fields := strings.Fields(line)
 	if len(fields) != len(dims) && len(fields) != len(dims)+1 {
@@ -128,7 +316,7 @@ func parseEvent(line string, dims []int) (spstream.Event, error) {
 	}
 	if len(fields) == len(dims)+1 {
 		v, err := strconv.ParseFloat(fields[len(dims)], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 			return spstream.Event{}, fmt.Errorf("bad value %q", fields[len(dims)])
 		}
 		ev.Value = v

@@ -2,13 +2,34 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"spstream"
 	"spstream/internal/synth"
 )
+
+// testConfig is the baseline command configuration the tests tweak.
+func testConfig(dims []int, window int) config {
+	return config{
+		dims:         dims,
+		window:       window,
+		rank:         4,
+		topN:         2,
+		mu:           0.95,
+		alg:          spstream.SpCPStream,
+		queueCap:     8,
+		policy:       spstream.ShedBlock,
+		drainTimeout: 10 * time.Second,
+	}
+}
 
 func TestParseDims(t *testing.T) {
 	dims, err := parseDims("10, 20,30")
@@ -36,11 +57,47 @@ func TestParseEvent(t *testing.T) {
 	if err != nil || ev.Value != 1 {
 		t.Fatalf("default value wrong: %+v %v", ev, err)
 	}
-	for _, bad := range []string{"1", "0 1", "6 1", "1 1 x", "1 1 1 1"} {
+	for _, bad := range []string{
+		"1", "0 1", "6 1", "1 1 x", "1 1 1 1",
+		"99999999999999999999 1",          // coordinate overflow
+		"1 1 NaN", "1 1 +Inf", "1 1 -Inf", // non-finite values
+	} {
 		if _, err := parseEvent(bad, dims); err == nil {
 			t.Fatalf("accepted %q", bad)
 		}
 	}
+}
+
+// FuzzParseEvent: the event-line parser is the trust boundary for
+// arbitrary feed input — it must never panic, and anything it accepts
+// must be a well-formed in-range event with a finite value.
+func FuzzParseEvent(f *testing.F) {
+	f.Add("1 2 3.5")
+	f.Add("5 6")
+	f.Add("0 0 0")
+	f.Add("99999999999999999999 1")
+	f.Add("1 1 NaN")
+	f.Add("1 1 Inf")
+	f.Add("-1 -1 -1e309")
+	f.Add("\t 2 3 \x00")
+	dims := []int{5, 6}
+	f.Fuzz(func(t *testing.T, line string) {
+		ev, err := parseEvent(line, dims)
+		if err != nil {
+			return
+		}
+		if len(ev.Coord) != len(dims) {
+			t.Fatalf("accepted event with %d coords", len(ev.Coord))
+		}
+		for m, c := range ev.Coord {
+			if c < 0 || int(c) >= dims[m] {
+				t.Fatalf("accepted out-of-range coordinate %d for mode %d in %q", c, m, line)
+			}
+		}
+		if math.IsNaN(ev.Value) || math.IsInf(ev.Value, 0) {
+			t.Fatalf("accepted non-finite value %v in %q", ev.Value, line)
+		}
+	})
 }
 
 func TestParseAlg(t *testing.T) {
@@ -52,11 +109,29 @@ func TestParseAlg(t *testing.T) {
 	}
 }
 
-func TestRunEndToEnd(t *testing.T) {
-	// Synthesize an event feed with a clear structure.
-	r := synth.NewRNG(4)
+// syncBuffer lets tests poll output while run() is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// eventFeed synthesizes a diagonal-structured event feed.
+func eventFeed(events int, seed uint64) *bytes.Buffer {
+	r := synth.NewRNG(seed)
 	var in bytes.Buffer
-	for e := 0; e < 2500; e++ {
+	for e := 0; e < events; e++ {
 		i := r.Intn(10) + 1
 		j := i // diagonal-ish structure
 		if r.Float64() < 0.2 {
@@ -64,9 +139,14 @@ func TestRunEndToEnd(t *testing.T) {
 		}
 		fmt.Fprintf(&in, "%d %d %g\n", i, j, 1+0.1*r.NormFloat64())
 	}
+	return &in
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	in := eventFeed(2500, 4)
 	in.WriteString("# a comment\n\n")
 	var out bytes.Buffer
-	if err := run(&in, &out, []int{10, 10}, 1000, 4, 2, 0.95, spstream.SpCPStream); err != nil {
+	if err := run(context.Background(), in, &out, testConfig([]int{10, 10}, 1000)); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -78,12 +158,135 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunRejectsGarbageLines: malformed lines in a live feed are
+// counted and skipped, not fatal — and reported by -stats.
+func TestRunRejectsGarbageLines(t *testing.T) {
+	in := eventFeed(1000, 5)
+	in.WriteString("99 1 garbage\n1 1 NaN\nnot numbers at all\n")
+	var out bytes.Buffer
+	cfg := testConfig([]int{10, 10}, 500)
+	cfg.stats = true
+	if err := run(context.Background(), in, &out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "rejected=3") {
+		t.Fatalf("stats line missing rejected=3:\n%s", s)
+	}
+	if !strings.Contains(s, "produced=") || !strings.Contains(s, "processed=") {
+		t.Fatalf("stats line missing counters:\n%s", s)
+	}
+}
+
+// TestRunGracefulInterrupt: cancelling the context mid-feed (the SIGINT
+// path) drains the backlog and writes a restorable checkpoint.
+func TestRunGracefulInterrupt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	// An endless feed: the run can only end via the context.
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	feedErr := make(chan error, 1)
+	go func() {
+		defer pw.Close()
+		r := synth.NewRNG(7)
+		for {
+			i, j := r.Intn(10)+1, r.Intn(10)+1
+			if _, err := fmt.Fprintf(pw, "%d %d 1\n", i, j); err != nil {
+				feedErr <- nil // reader gone: expected at shutdown
+				return
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	cfg := testConfig([]int{10, 10}, 200)
+	cfg.checkpointDir = dir
+	cfg.stats = true
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, pr, &out, cfg) }()
+
+	// Let a few windows through, then interrupt.
+	deadline := time.After(10 * time.Second)
+	for {
+		time.Sleep(10 * time.Millisecond)
+		if strings.Count(out.String(), "window ") >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no windows processed:\n%s", out.String())
+		default:
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run after interrupt: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "interrupted: backlog drained") {
+		t.Fatalf("missing drain message:\n%s", s)
+	}
+	if !strings.Contains(s, "checkpoint: ") {
+		t.Fatalf("missing checkpoint message:\n%s", s)
+	}
+	// The checkpoint must restore into a fresh decomposer.
+	dec, err := spstream.New([]int{10, 10}, spstream.Options{Rank: 4, Algorithm: spstream.SpCPStream, Mu: 0.95, TrackFit: true, Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spstream.RestoreNewestCheckpoint(dir, dec); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if dec.T() == 0 {
+		t.Fatal("restored checkpoint has no slices")
+	}
+}
+
+// TestRunWindowTimeout: a sparse feed emits a partial window after the
+// wall-clock timeout instead of stalling until EOF.
+func TestRunWindowTimeout(t *testing.T) {
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	cfg := testConfig([]int{10, 10}, 1_000_000) // count alone would never trigger
+	cfg.windowTimeout = 30 * time.Millisecond
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, pr, &out, cfg) }()
+
+	for e := 0; e < 50; e++ {
+		fmt.Fprintf(pw, "%d %d 1\n", e%10+1, e%10+1)
+	}
+	deadline := time.After(10 * time.Second)
+	for strings.Count(out.String(), "window ") < 1 {
+		time.Sleep(10 * time.Millisecond)
+		select {
+		case <-deadline:
+			t.Fatalf("timeout window never emitted:\n%s", out.String())
+		default:
+		}
+	}
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(""), &out, []int{5, 5}, 100, 2, 2, 0.9, spstream.SpCPStream); err == nil {
+	if err := run(context.Background(), strings.NewReader(""), &out, testConfig([]int{5, 5}, 100)); err == nil {
 		t.Fatal("empty input accepted")
 	}
-	if err := run(strings.NewReader("99 1\n"), &out, []int{5, 5}, 100, 2, 2, 0.9, spstream.SpCPStream); err == nil {
-		t.Fatal("out-of-range coordinate accepted")
+	// A lone malformed line is rejected, leaving no windows.
+	if err := run(context.Background(), strings.NewReader("99 1\n"), &out, testConfig([]int{5, 5}, 100)); err == nil {
+		t.Fatal("feed with no valid events accepted")
 	}
 }

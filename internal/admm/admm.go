@@ -87,6 +87,16 @@ func NewSolver(opt Options) *Solver {
 // Options returns the solver's (defaulted) options.
 func (s *Solver) Options() Options { return s.opt }
 
+// SetMaxIters adjusts the inner-iteration bound for subsequent solves
+// (floor 1). The live path's degradation controller uses it to trade
+// constraint-solve accuracy for throughput under overload.
+func (s *Solver) SetMaxIters(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.opt.MaxIters = n
+}
+
 // SetCancel installs (or clears, with nil) a cancellation check polled
 // between ADMM iterations — typically a context.Context's Err method —
 // so a hung or over-deadline slice can abandon the inner solve at an

@@ -1,0 +1,70 @@
+package core
+
+// This file is the runtime tuning surface the lag-aware degradation
+// controller (internal/ingest) drives: the knobs that trade model
+// quality for per-slice throughput while a stream is live. All of them
+// may only be called between slices (the Decomposer is not safe for
+// concurrent use), which is exactly when the controller runs — after
+// one ProcessSliceContext returns and before the next begins.
+
+// MaxIters returns the current inner (per-slice) iteration bound.
+func (d *Decomposer) MaxIters() int { return d.opt.MaxIters }
+
+// SetMaxIters adjusts the inner iteration bound for subsequent slices
+// (floor 1). Fewer inner iterations is the cheapest quality/throughput
+// trade: the factors take smaller steps per slice but the model stays
+// well-defined.
+func (d *Decomposer) SetMaxIters(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.opt.MaxIters = n
+}
+
+// ADMMMaxIters returns the inner ADMM iteration bound (constrained
+// runs).
+func (d *Decomposer) ADMMMaxIters() int { return d.solver.Options().MaxIters }
+
+// SetADMMMaxIters adjusts the ADMM inner-loop bound for subsequent
+// solves (floor 1).
+func (d *Decomposer) SetADMMMaxIters(n int) { d.solver.SetMaxIters(n) }
+
+// Algorithm returns the solver variant currently in use.
+func (d *Decomposer) Algorithm() Algorithm { return d.opt.Algorithm }
+
+// SetAlgorithm switches the solver variant between slices. The three
+// variants share the explicit factor/Gram state that crosses slice
+// boundaries (finishSpCP materializes A = A_z ⊕ A_nz every slice), so
+// the switch is exact: the next slice simply runs the other inner
+// loop. The spCP-stream incremental C_z bookkeeping is invalidated by
+// any switch (its prevNZ set refers to slices processed by the other
+// path), so the next spCP slice recomputes C_z,t−1 from scratch — one
+// extra Gram pass, after which incremental maintenance resumes.
+//
+// The same constraint-compatibility rules as construction apply
+// (spCP-stream rejects constraints unless ConstrainedSpCP is set);
+// incompatible switches return an error and leave the decomposer
+// unchanged.
+func (d *Decomposer) SetAlgorithm(a Algorithm) error {
+	if a == d.opt.Algorithm {
+		return nil
+	}
+	trial := d.opt
+	trial.Algorithm = a
+	if err := trial.Validate(d.dims); err != nil {
+		return err
+	}
+	d.opt.Algorithm = a
+	d.prevNZ = nil
+	return nil
+}
+
+// NoteOverload folds the ingestion pipeline's overload counters into
+// the recovery stats, so a single ResilienceStats read reports both
+// failure recovery and load shedding for the stream.
+func (d *Decomposer) NoteOverload(shed, coalesced, stale, drained int) {
+	d.stats.OverloadSheds += shed
+	d.stats.OverloadCoalesced += coalesced
+	d.stats.StaleSheds += stale
+	d.stats.DrainedSlices += drained
+}

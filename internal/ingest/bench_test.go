@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"context"
+	"testing"
+
+	"spstream/internal/core"
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+)
+
+// BenchmarkIngestPipeline measures the live path end to end: slices
+// offered through the bounded queue and solved by a real decomposer,
+// so the perf trajectory captures queue overhead alongside the solver.
+// Block policy → every slice is processed (the number reported is
+// honest slices/op, not sheds/op).
+func BenchmarkIngestPipeline(b *testing.B) {
+	s, err := synth.Generate(synth.Config{
+		Name:        "bench",
+		Dists:       []synth.IndexDist{synth.Uniform{N: 50}, synth.Uniform{N: 60}},
+		T:           8,
+		NNZPerSlice: 2000,
+		Values:      synth.ValuePlanted,
+		PlantedRank: 4,
+		NoiseStd:    0.01,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dec, err := core.NewDecomposer(s.Dims, core.Options{Rank: 8, Algorithm: core.Optimized, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := New(dec, Config{QueueCap: 4, Policy: Block})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		p.Start(context.Background())
+		for _, x := range s.Slices {
+			if err := p.Offer(x.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		snap := p.Drain(context.Background())
+		if snap.Processed != int64(len(s.Slices)) {
+			b.Fatalf("processed %d of %d", snap.Processed, len(s.Slices))
+		}
+	}
+}
+
+// BenchmarkIngestQueueOnly isolates the queue from the solver: a no-op
+// processor, so ns/op ≈ per-slice queue overhead.
+func BenchmarkIngestQueueOnly(b *testing.B) {
+	x := testSlice(1)
+	p, err := New(nopProcessor{}, Config{QueueCap: 64, Policy: Block})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Start(context.Background())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Offer(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	p.Drain(context.Background())
+}
+
+type nopProcessor struct{}
+
+func (nopProcessor) ProcessSliceContext(context.Context, *sptensor.Tensor) (core.SliceResult, error) {
+	return core.SliceResult{}, nil
+}

@@ -1,0 +1,143 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+
+	"spstream/internal/admm"
+	"spstream/internal/core"
+	"spstream/internal/trace"
+)
+
+func newTestDecomposer(t *testing.T, opt core.Options) *core.Decomposer {
+	t.Helper()
+	if opt.Rank == 0 {
+		opt.Rank = 3
+	}
+	d, err := core.NewDecomposer([]int{10, 12}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestControllerLadderDownAndUp drives the controller with synthetic
+// depth observations and checks the full ladder walk: every level
+// degrades the configured knobs, and the documented hysteresis bound
+// holds — from the deepest level the controller is back at full
+// quality within numLevels×StepUpAfter calm observations.
+func TestControllerLadderDownAndUp(t *testing.T) {
+	var ov trace.Overload
+	d := newTestDecomposer(t, core.Options{Algorithm: core.Optimized, MaxIters: 20, ADMMMaxIters: 50})
+	c := NewController(d, ControllerConfig{StepUpAfter: 2}, &ov)
+
+	// Sustained pressure: full queue every observation.
+	for i := 0; i < 10; i++ {
+		c.Observe(8, 8, time.Millisecond)
+	}
+	if c.Level() != numLevels-1 {
+		t.Fatalf("level = %d under sustained pressure, want %d", c.Level(), numLevels-1)
+	}
+	if d.MaxIters() != 10 {
+		t.Fatalf("degraded MaxIters = %d, want 10", d.MaxIters())
+	}
+	if d.ADMMMaxIters() != 25 {
+		t.Fatalf("degraded ADMMMaxIters = %d, want 25", d.ADMMMaxIters())
+	}
+	if d.Algorithm() != core.SpCPStream {
+		t.Fatalf("deepest level algorithm = %v, want spCP-stream", d.Algorithm())
+	}
+	if c.WindowFactor() != 4 {
+		t.Fatalf("deepest level window factor = %d, want 4", c.WindowFactor())
+	}
+	if got := ov.DegradeSteps.Load(); got != int64(numLevels-1) {
+		t.Fatalf("DegradeSteps = %d, want %d", got, numLevels-1)
+	}
+
+	// Calm: empty queue. Documented bound: level×StepUpAfter calm
+	// slices to full quality.
+	bound := (numLevels - 1) * 2
+	for i := 0; i < bound; i++ {
+		c.Observe(0, 8, 0)
+	}
+	if c.Level() != 0 {
+		t.Fatalf("level = %d after %d calm slices, want 0", c.Level(), bound)
+	}
+	if d.MaxIters() != 20 || d.ADMMMaxIters() != 50 {
+		t.Fatalf("restored iters = %d/%d, want 20/50", d.MaxIters(), d.ADMMMaxIters())
+	}
+	if d.Algorithm() != core.Optimized {
+		t.Fatalf("restored algorithm = %v, want Optimized", d.Algorithm())
+	}
+	if c.WindowFactor() != 1 {
+		t.Fatalf("restored window factor = %d, want 1", c.WindowFactor())
+	}
+	if got := ov.RestoreSteps.Load(); got != int64(numLevels-1) {
+		t.Fatalf("RestoreSteps = %d, want %d", got, numLevels-1)
+	}
+}
+
+// TestControllerHysteresis: a single calm observation between pressure
+// must not step up; mid-range depth resets the calm run.
+func TestControllerHysteresis(t *testing.T) {
+	var ov trace.Overload
+	d := newTestDecomposer(t, core.Options{Algorithm: core.Optimized, MaxIters: 20})
+	c := NewController(d, ControllerConfig{StepUpAfter: 3}, &ov)
+	c.Observe(8, 8, 0) // degrade to 1
+	if c.Level() != 1 {
+		t.Fatalf("level = %d, want 1", c.Level())
+	}
+	c.Observe(0, 8, 0)
+	c.Observe(0, 8, 0)
+	c.Observe(4, 8, 0) // neither calm nor pressure: resets the run
+	c.Observe(0, 8, 0)
+	c.Observe(0, 8, 0)
+	if c.Level() != 1 {
+		t.Fatalf("level = %d after interrupted calm run, want 1 (hysteresis)", c.Level())
+	}
+	c.Observe(0, 8, 0)
+	if c.Level() != 0 {
+		t.Fatalf("level = %d after 3 consecutive calm slices, want 0", c.Level())
+	}
+}
+
+// TestControllerLagPressure: lag beyond MaxLag is pressure even with a
+// shallow queue.
+func TestControllerLagPressure(t *testing.T) {
+	var ov trace.Overload
+	d := newTestDecomposer(t, core.Options{Algorithm: core.Optimized, MaxIters: 20})
+	c := NewController(d, ControllerConfig{MaxLag: 10 * time.Millisecond, LagAlpha: 1}, &ov)
+	c.Observe(0, 8, 50*time.Millisecond)
+	if c.Level() != 1 {
+		t.Fatalf("level = %d with lag 5× MaxLag, want 1", c.Level())
+	}
+	// Calm needs lag ≤ MaxLag/2 as well as a shallow queue.
+	c.Observe(0, 8, 8*time.Millisecond)
+	if got := c.LagEWMA(); got != 8*time.Millisecond {
+		t.Fatalf("LagEWMA = %v with α=1, want 8ms", got)
+	}
+}
+
+// TestControllerConstrainedFallback: a constrained model cannot take
+// the spCP rung; the deepest level must deepen the iteration cut
+// instead — and still restore exactly.
+func TestControllerConstrainedFallback(t *testing.T) {
+	var ov trace.Overload
+	d := newTestDecomposer(t, core.Options{Algorithm: core.Optimized, Constraint: admm.NonNeg{}, MaxIters: 20, ADMMMaxIters: 40})
+	c := NewController(d, ControllerConfig{StepUpAfter: 1}, &ov)
+	for i := 0; i < numLevels; i++ {
+		c.Observe(8, 8, 0)
+	}
+	if d.Algorithm() != core.Optimized {
+		t.Fatalf("constrained decomposer switched to %v", d.Algorithm())
+	}
+	if d.MaxIters() != 5 || d.ADMMMaxIters() != 10 {
+		t.Fatalf("constrained fallback iters = %d/%d, want 5/10", d.MaxIters(), d.ADMMMaxIters())
+	}
+	for i := 0; i < numLevels; i++ {
+		c.Observe(0, 8, 0)
+	}
+	if d.MaxIters() != 20 || d.ADMMMaxIters() != 40 || c.Level() != 0 {
+		t.Fatalf("constrained restore = %d/%d level %d", d.MaxIters(), d.ADMMMaxIters(), c.Level())
+	}
+}

@@ -1,0 +1,76 @@
+// Package ingest is the overload-robustness layer of the live
+// streaming path: a bounded queue between the slice producer (event
+// windowing) and the decomposer, pluggable shed policies for when the
+// solver falls behind the feed, a lag-aware degradation controller
+// that steps model quality down (and hysteretically back up) to match
+// sustained load, and a graceful drain for shutdown.
+//
+// The design goal mirrors the fault-tolerance layer's (internal/
+// resilience): a monitoring deployment must degrade instead of dying.
+// Where resilience handles failures (NaN slices, non-SPD Grams,
+// panics), ingest handles overload — the producer outpacing the
+// solver. Every produced slice is accounted for exactly once:
+//
+//	produced == processed + failed + coalesced + shed
+//
+// with shed split by cause (policy, staleness, drain deadline), so an
+// operator can tell "the model skipped data" apart from "the model
+// aggregated data" (the Coalesce policy merges pending windows into
+// one coarser slice — events aggregated, not lost).
+package ingest
+
+import "fmt"
+
+// ShedPolicy selects what the bounded queue does with a new slice when
+// it is full.
+type ShedPolicy int
+
+const (
+	// Block applies backpressure: the producer waits for queue space.
+	// No data is lost, but a slow solver stalls the feed (appropriate
+	// when the producer can buffer upstream, e.g. reading a file).
+	Block ShedPolicy = iota
+	// DropNewest rejects the incoming slice, preserving the queued
+	// backlog — freshest data is sacrificed first.
+	DropNewest
+	// DropOldest evicts the longest-queued slice to admit the new one —
+	// the queue always holds the freshest window of the feed.
+	DropOldest
+	// Coalesce merges the incoming slice into the newest queued slice
+	// (events aggregated into one coarser window), so the queue stays
+	// bounded without losing any event mass.
+	Coalesce
+)
+
+// String names the policy.
+func (p ShedPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	case Coalesce:
+		return "coalesce"
+	default:
+		return fmt.Sprintf("ShedPolicy(%d)", int(p))
+	}
+}
+
+// ParseShedPolicy parses "block", "drop-newest", "drop-oldest", or
+// "coalesce".
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-newest":
+		return DropNewest, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	case "coalesce":
+		return Coalesce, nil
+	default:
+		return Block, fmt.Errorf("ingest: unknown shed policy %q (want block, drop-newest, drop-oldest, coalesce)", s)
+	}
+}

@@ -1,0 +1,273 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"spstream/internal/core"
+	"spstream/internal/sptensor"
+	"spstream/internal/trace"
+)
+
+// Processor consumes slices; implemented by core.Decomposer.
+type Processor interface {
+	ProcessSliceContext(ctx context.Context, x *sptensor.Tensor) (core.SliceResult, error)
+}
+
+// overloadNoter lets the pipeline fold its shed counters into the
+// decomposer's recovery stats at drain time; implemented by
+// core.Decomposer.
+type overloadNoter interface {
+	NoteOverload(shed, coalesced, stale, drained int)
+}
+
+// ErrDraining is returned by Offer once Drain has begun (or the
+// pipeline's context ended); the offered slice is accounted as shed.
+var ErrDraining = errors.New("ingest: pipeline is draining")
+
+// Config parameterizes a Pipeline. The zero value is a bounded
+// blocking (backpressure) pipeline with no lag shedding and no
+// degradation.
+type Config struct {
+	// QueueCap bounds the producer→consumer backlog, in slices.
+	// Default 8. Memory is therefore bounded by QueueCap windows (plus
+	// the slice being solved), whatever the producer does.
+	QueueCap int
+	// Policy selects what happens to new slices when the queue is
+	// full. Default Block.
+	Policy ShedPolicy
+	// MaxLag, when positive, is the admission-to-solve deadline: a
+	// slice older than MaxLag at pop time is shed without solving, and
+	// the deadline is propagated through ProcessSliceContext so a
+	// solve that starts in time but overruns is abandoned at an
+	// iteration boundary (rolled back when resilience is configured).
+	MaxLag time.Duration
+	// Degrade, when non-nil, arms the lag-aware degradation
+	// controller; the Processor must then implement Tunable.
+	Degrade *ControllerConfig
+	// DrainTimeout bounds how long Drain processes the backlog before
+	// shedding what remains. Default 30s.
+	DrainTimeout time.Duration
+	// OnResult, when non-nil, is invoked from the consumer goroutine
+	// after every successfully processed slice.
+	OnResult func(core.SliceResult)
+	// OnError, when non-nil, is invoked for per-slice errors the
+	// pipeline absorbed (failed or skipped slices); fatal errors
+	// surface from Drain instead.
+	OnError func(error)
+	// Clock replaces time.Now (testing). With a non-standard clock the
+	// context-deadline propagation is disabled (the fake instants are
+	// meaningless to the runtime timer); pop-time staleness shedding
+	// still applies.
+	Clock func() time.Time
+}
+
+// Pipeline is the bounded, overload-robust conveyor between a slice
+// producer and a Processor. Producers call Offer (any goroutine);
+// Start launches the consumer loop; Drain performs the graceful
+// shutdown. Counters live in a trace.Overload and satisfy, after
+// Drain:
+//
+//	produced == processed + failed + coalesced + shed
+type Pipeline struct {
+	cfg      Config
+	proc     Processor
+	ctrl     *Controller
+	q        *queue
+	ov       trace.Overload
+	clock    func() time.Time
+	realTime bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// New validates the configuration and builds a pipeline around proc.
+func New(proc Processor, cfg Config) (*Pipeline, error) {
+	if proc == nil {
+		return nil, errors.New("ingest: nil processor")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 8
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	p := &Pipeline{cfg: cfg, proc: proc, clock: cfg.Clock, realTime: cfg.Clock == nil}
+	if p.clock == nil {
+		p.clock = time.Now
+	}
+	if cfg.Degrade != nil {
+		tun, ok := proc.(Tunable)
+		if !ok {
+			return nil, fmt.Errorf("ingest: degradation requires a Tunable processor, got %T", proc)
+		}
+		p.ctrl = NewController(tun, *cfg.Degrade, &p.ov)
+	}
+	p.q = newQueue(cfg.QueueCap, cfg.Policy, p.clock, &p.ov)
+	p.done = make(chan struct{})
+	return p, nil
+}
+
+// Start launches the consumer loop. The context cancels in-flight and
+// future work (an emergency stop); use Drain for a graceful shutdown.
+func (p *Pipeline) Start(ctx context.Context) {
+	ctx, p.cancel = context.WithCancel(ctx)
+	go p.loop(ctx)
+}
+
+// Offer submits one slice from a producer. Under the Block policy it
+// waits for queue space (backpressure); under the shedding policies it
+// returns immediately. Every offered slice is counted exactly once:
+// queued, shed, or coalesced. After Drain begins, Offer returns
+// ErrDraining (the slice is accounted as drain-shed).
+func (p *Pipeline) Offer(x *sptensor.Tensor) error {
+	p.ov.Produced.Add(1)
+	if !p.q.push(x) {
+		// push already classified the slice (shed or coalesced); only
+		// a closed queue is an error the producer should see.
+		if p.q.isClosed() {
+			return ErrDraining
+		}
+	}
+	return nil
+}
+
+// WindowFactor returns the degradation controller's current window
+// multiplier (1 without a controller). Producers poll it between
+// events to widen their accumulation window under load.
+func (p *Pipeline) WindowFactor() int {
+	if p.ctrl == nil {
+		return 1
+	}
+	return p.ctrl.WindowFactor()
+}
+
+// Level returns the controller's ladder level (0 without a controller).
+func (p *Pipeline) Level() int {
+	if p.ctrl == nil {
+		return 0
+	}
+	return p.ctrl.Level()
+}
+
+// Depth returns the current queue backlog, in slices.
+func (p *Pipeline) Depth() int { return p.q.depth() }
+
+// Stats snapshots the overload counters.
+func (p *Pipeline) Stats() trace.OverloadSnapshot { return p.ov.Snapshot() }
+
+// loop is the consumer: pop, staleness check, solve with the
+// propagated deadline, controller observation.
+func (p *Pipeline) loop(ctx context.Context) {
+	defer close(p.done)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		it, ok := p.q.pop()
+		if !ok {
+			return
+		}
+		p.consume(ctx, it)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// consume handles one popped item end to end.
+func (p *Pipeline) consume(ctx context.Context, it item) {
+	lag := p.clock().Sub(it.admitted)
+	if p.cfg.MaxLag > 0 && lag > p.cfg.MaxLag {
+		// Stale before solving: shedding now is strictly better than
+		// spending solver time on a window the feed has already
+		// outrun.
+		p.ov.ShedStale.Add(1)
+		p.observe(lag)
+		return
+	}
+	sctx := ctx
+	if p.cfg.MaxLag > 0 && p.realTime {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithDeadline(ctx, it.admitted.Add(p.cfg.MaxLag))
+		defer cancel()
+	}
+	res, err := p.proc.ProcessSliceContext(sctx, it.slice)
+	switch {
+	case err == nil:
+		p.ov.Processed.Add(1)
+		if p.cfg.OnResult != nil {
+			p.cfg.OnResult(res)
+		}
+	case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+		// The propagated lag deadline expired mid-solve: the slice is
+		// stale, same accounting as shedding it before the solve.
+		p.ov.ShedStale.Add(1)
+		if p.cfg.OnError != nil {
+			p.cfg.OnError(err)
+		}
+	case ctx.Err() != nil:
+		// Emergency stop: the item was popped but not completed; count
+		// it with the drain sheds so the accounting stays exact.
+		p.ov.ShedDrain.Add(1)
+		return
+	default:
+		// Solver error (or a slice skipped by the resilience policy):
+		// absorbed, counted, stream continues.
+		p.ov.Failed.Add(1)
+		if p.cfg.OnError != nil {
+			p.cfg.OnError(err)
+		}
+	}
+	p.observe(p.clock().Sub(it.admitted))
+}
+
+// observe feeds the controller (when armed) one measurement.
+func (p *Pipeline) observe(lag time.Duration) {
+	if p.ctrl != nil {
+		p.ctrl.Observe(p.q.depth(), p.cfg.QueueCap, lag)
+	}
+}
+
+// Drain performs the graceful shutdown: admissions stop, the backlog
+// is processed until done or the drain deadline (Config.DrainTimeout,
+// further bounded by ctx), and anything still queued is shed and
+// counted. It then folds the shed/coalesced counters into the
+// processor's recovery stats (when it is a core.Decomposer) and
+// returns the final counter snapshot. Drain must be called exactly
+// once, after producers have stopped offering.
+func (p *Pipeline) Drain(ctx context.Context) trace.OverloadSnapshot {
+	preDrain := p.ov.Processed.Load()
+	p.q.close()
+	timer := time.NewTimer(p.cfg.DrainTimeout)
+	defer timer.Stop()
+	graceful := false
+	select {
+	case <-p.done:
+		graceful = true
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	if !graceful {
+		// Deadline: stop the consumer, then account the backlog.
+		if p.cancel != nil {
+			p.cancel()
+		}
+		<-p.done
+		for {
+			if _, ok := p.q.tryPop(); !ok {
+				break
+			}
+			p.ov.ShedDrain.Add(1)
+		}
+	}
+	snap := p.ov.Snapshot()
+	if n, ok := p.proc.(overloadNoter); ok {
+		n.NoteOverload(int(snap.Shed()), int(snap.Coalesced), int(snap.ShedStale),
+			int(snap.Processed-preDrain))
+	}
+	return snap
+}

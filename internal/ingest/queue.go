@@ -1,0 +1,146 @@
+package ingest
+
+import (
+	"sync"
+	"time"
+
+	"spstream/internal/sptensor"
+	"spstream/internal/trace"
+)
+
+// item is one queued slice plus its admission bookkeeping.
+type item struct {
+	slice *sptensor.Tensor
+	// admitted is when the slice entered the queue; the lag deadline
+	// (Config.MaxLag) is measured from it.
+	admitted time.Time
+	// coalesced counts how many later slices were merged into this one
+	// under the Coalesce policy.
+	coalesced int
+}
+
+// queue is the bounded, policy-aware buffer between producer and
+// consumer. It is a plain mutex/cond design rather than a channel
+// because three of the four policies need to inspect or mutate the
+// buffered backlog (evict the head, merge into the tail) — operations
+// a channel cannot express.
+type queue struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []item
+	capacity int
+	policy   ShedPolicy
+	closed   bool
+	clock    func() time.Time
+	ov       *trace.Overload
+}
+
+func newQueue(capacity int, policy ShedPolicy, clock func() time.Time, ov *trace.Overload) *queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &queue{capacity: capacity, policy: policy, clock: clock, ov: ov}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits one slice under the queue's shed policy. It reports
+// whether the slice was enqueued; a false return means the slice was
+// accounted as shed or coalesced (the counters are already updated).
+// Under the Block policy push waits for space; a close during the wait
+// sheds the slice (drain cause).
+func (q *queue) push(x *sptensor.Tensor) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		q.ov.ShedDrain.Add(1)
+		return false
+	}
+	if len(q.buf) == q.capacity {
+		switch q.policy {
+		case Block:
+			for len(q.buf) == q.capacity && !q.closed {
+				q.notFull.Wait()
+			}
+			if q.closed {
+				q.ov.ShedDrain.Add(1)
+				return false
+			}
+		case DropNewest:
+			q.ov.ShedNewest.Add(1)
+			return false
+		case DropOldest:
+			q.buf = q.buf[1:]
+			q.ov.ShedOldest.Add(1)
+		case Coalesce:
+			tail := &q.buf[len(q.buf)-1]
+			q.ov.CoalescedEvents.Add(int64(x.NNZ()))
+			tail.slice.Merge(x)
+			tail.slice.Coalesce()
+			tail.coalesced++
+			q.ov.Coalesced.Add(1)
+			return false
+		}
+	}
+	q.buf = append(q.buf, item{slice: x, admitted: q.clock()})
+	q.ov.RaiseHighWater(int64(len(q.buf)))
+	q.notEmpty.Signal()
+	return true
+}
+
+// pop removes the oldest queued slice, blocking until one is available
+// or the queue is closed and empty (ok=false).
+func (q *queue) pop() (item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if len(q.buf) == 0 {
+		return item{}, false
+	}
+	it := q.buf[0]
+	q.buf = q.buf[1:]
+	q.notFull.Signal()
+	return it, true
+}
+
+// tryPop is pop without blocking, used when discarding the backlog
+// after a drain deadline.
+func (q *queue) tryPop() (item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 {
+		return item{}, false
+	}
+	it := q.buf[0]
+	q.buf = q.buf[1:]
+	q.notFull.Signal()
+	return it, true
+}
+
+// close stops admissions; queued slices remain poppable. Blocked
+// producers wake and account their slice as drain-shed.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// isClosed reports whether close has been called.
+func (q *queue) isClosed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// depth returns the current backlog length.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}

@@ -1,0 +1,134 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+
+	"spstream/internal/sptensor"
+	"spstream/internal/trace"
+)
+
+// testSlice builds a tiny 2-mode slice whose single nonzero's value
+// tags it, so tests can tell which slices survived shedding.
+func testSlice(tag float64) *sptensor.Tensor {
+	x := sptensor.New(4, 4)
+	x.Append([]int32{0, 0}, tag)
+	return x
+}
+
+func fixedClock() func() time.Time {
+	base := time.Unix(1000, 0)
+	return func() time.Time { return base }
+}
+
+func TestQueueDropNewest(t *testing.T) {
+	var ov trace.Overload
+	q := newQueue(2, DropNewest, fixedClock(), &ov)
+	for i := 1; i <= 5; i++ {
+		q.push(testSlice(float64(i)))
+	}
+	if got := ov.ShedNewest.Load(); got != 3 {
+		t.Fatalf("ShedNewest = %d, want 3", got)
+	}
+	it, _ := q.pop()
+	if it.slice.Vals[0] != 1 {
+		t.Fatalf("head = %g, want the oldest (1)", it.slice.Vals[0])
+	}
+	it, _ = q.pop()
+	if it.slice.Vals[0] != 2 {
+		t.Fatalf("second = %g, want 2", it.slice.Vals[0])
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	var ov trace.Overload
+	q := newQueue(2, DropOldest, fixedClock(), &ov)
+	for i := 1; i <= 5; i++ {
+		q.push(testSlice(float64(i)))
+	}
+	if got := ov.ShedOldest.Load(); got != 3 {
+		t.Fatalf("ShedOldest = %d, want 3", got)
+	}
+	it, _ := q.pop()
+	if it.slice.Vals[0] != 4 {
+		t.Fatalf("head = %g, want the freshest window start (4)", it.slice.Vals[0])
+	}
+}
+
+func TestQueueCoalesceAggregatesNotLoses(t *testing.T) {
+	var ov trace.Overload
+	q := newQueue(2, Coalesce, fixedClock(), &ov)
+	for i := 1; i <= 5; i++ {
+		q.push(testSlice(float64(i)))
+	}
+	if got := ov.Coalesced.Load(); got != 3 {
+		t.Fatalf("Coalesced = %d, want 3", got)
+	}
+	if got := ov.CoalescedEvents.Load(); got != 3 {
+		t.Fatalf("CoalescedEvents = %d, want 3", got)
+	}
+	it1, _ := q.pop()
+	it2, _ := q.pop()
+	// All five slices share the coordinate (0,0); coalescing must have
+	// summed the merged values, so total event mass is preserved.
+	total := 0.0
+	for _, it := range []item{it1, it2} {
+		for _, v := range it.slice.Vals {
+			total += v
+		}
+	}
+	if total != 1+2+3+4+5 {
+		t.Fatalf("merged value mass = %g, want 15 (no events lost)", total)
+	}
+	if it2.coalesced != 3 {
+		t.Fatalf("tail item coalesced = %d, want 3", it2.coalesced)
+	}
+}
+
+func TestQueueBlockBackpressureAndClose(t *testing.T) {
+	var ov trace.Overload
+	q := newQueue(1, Block, time.Now, &ov)
+	q.push(testSlice(1))
+	pushed := make(chan bool)
+	go func() { pushed <- q.push(testSlice(2)) }()
+	select {
+	case <-pushed:
+		t.Fatal("push into a full Block queue returned without space")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Popping frees space and unblocks the producer.
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if ok := <-pushed; !ok {
+		t.Fatal("unblocked push reported shed")
+	}
+	// Close wakes a blocked producer, shedding its slice as drain.
+	go func() { pushed <- q.push(testSlice(3)) }()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	if ok := <-pushed; ok {
+		t.Fatal("push after close reported enqueued")
+	}
+	if got := ov.ShedDrain.Load(); got != 1 {
+		t.Fatalf("ShedDrain = %d, want 1", got)
+	}
+	// The backlog survives close; then pop reports end of stream.
+	if _, ok := q.pop(); !ok {
+		t.Fatal("queued slice lost at close")
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop after close+empty returned a slice")
+	}
+}
+
+func TestQueueHighWater(t *testing.T) {
+	var ov trace.Overload
+	q := newQueue(3, DropNewest, fixedClock(), &ov)
+	for i := 0; i < 10; i++ {
+		q.push(testSlice(1))
+	}
+	if got := ov.QueueHighWater.Load(); got != 3 {
+		t.Fatalf("QueueHighWater = %d, want cap 3", got)
+	}
+}

@@ -211,6 +211,19 @@ type Stats struct {
 	// outcomes during ProcessStreamContext.
 	CheckpointWrites int
 	CheckpointErrors int
+	// OverloadSheds counts slices the ingestion pipeline shed under
+	// load (queue policy, staleness, or the drain deadline) instead of
+	// solving.
+	OverloadSheds int
+	// OverloadCoalesced counts slices the ingestion pipeline merged
+	// into a coarser slice under the Coalesce shed policy.
+	OverloadCoalesced int
+	// StaleSheds counts the subset of OverloadSheds dropped because
+	// they exceeded the max-lag deadline between admission and solving.
+	StaleSheds int
+	// DrainedSlices counts slices processed during a graceful drain
+	// (after the producer stopped, before shutdown).
+	DrainedSlices int
 }
 
 // AtomicWriteFile writes a file via a temp file in the same directory,

@@ -1,12 +1,16 @@
 package sptensor
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
 
 // ChannelSource adapts a Go channel of slices to the SliceSource
-// interface, for live ingestion pipelines: a producer goroutine builds
-// slices (e.g. by windowing incoming events) and the decomposer
-// consumes them with ProcessStream. Closing the channel ends the
-// stream.
+// interface, for live ingestion pipelines: one or more producer
+// goroutines build slices (e.g. by windowing incoming events) and the
+// decomposer consumes them with ProcessStream. Closing the channel ends
+// the stream.
 //
 // Slices arriving from a live producer are untrusted: Next drops any
 // slice whose shape does not match the declared dims or whose
@@ -14,10 +18,14 @@ import "math"
 // kernels) and counts the drop in Rejected. Value-level validation
 // (NaN/Inf) is the resilience layer's input scan, not the source's —
 // the source only guarantees structural safety.
+//
+// Next must be called from a single consumer, but Rejected may be
+// polled concurrently (e.g. by a stats reporter) while producers feed
+// the channel.
 type ChannelSource struct {
 	dims     []int
 	ch       <-chan *Tensor
-	rejected int
+	rejected atomic.Int64
 }
 
 // NewChannelSource wraps a channel of slices with the given mode
@@ -30,8 +38,8 @@ func NewChannelSource(dims []int, ch <-chan *Tensor) *ChannelSource {
 func (c *ChannelSource) Dims() []int { return c.dims }
 
 // Rejected returns how many structurally invalid slices Next has
-// dropped so far.
-func (c *ChannelSource) Rejected() int { return c.rejected }
+// dropped so far. Safe to call concurrently with Next and producers.
+func (c *ChannelSource) Rejected() int { return int(c.rejected.Load()) }
 
 // Next implements SliceSource; it blocks until a structurally valid
 // slice arrives or the channel closes (returning nil). Invalid slices
@@ -43,7 +51,7 @@ func (c *ChannelSource) Next() *Tensor {
 			return nil
 		}
 		if !c.valid(x) {
-			c.rejected++
+			c.rejected.Add(1)
 			continue
 		}
 		return x
@@ -69,21 +77,34 @@ type Event struct {
 	Value float64
 }
 
-// WindowAccumulator groups events into fixed-size time windows and
-// emits one coalesced slice per window — the standard way to turn an
-// event feed (log lines, messages, flows) into a tensor stream.
+// WindowAccumulator groups events into windows and emits one coalesced
+// slice per window — the standard way to turn an event feed (log lines,
+// messages, flows) into a tensor stream. A window closes when it
+// reaches WindowEvents events, or — when WindowTimeout is set — when
+// the wall-clock age of its first event exceeds the timeout, so sparse
+// feeds cannot stall a window open indefinitely.
 //
 // Events are untrusted input: an out-of-range or wrong-arity
 // coordinate would panic inside the compute kernels, and a non-finite
 // value would poison every factor. Add drops such events and counts
 // them in Rejected instead of admitting them to the window.
+//
+// The accumulator is single-goroutine (the producer's); the window
+// size may be changed between events with SetWindowEvents, which the
+// overload degradation ladder uses to widen windows under load.
 type WindowAccumulator struct {
 	dims     []int
 	current  *Tensor
 	count    int
 	rejected int
+	started  time.Time // admission time of the window's first event
+	now      func() time.Time
 	// WindowEvents is the number of events per emitted slice.
 	WindowEvents int
+	// WindowTimeout, when positive, closes a non-empty window whose
+	// first event is older than the timeout, even if WindowEvents has
+	// not been reached. The check runs inside Add and Poll.
+	WindowTimeout time.Duration
 }
 
 // NewWindowAccumulator creates an accumulator emitting a slice every
@@ -92,19 +113,41 @@ func NewWindowAccumulator(dims []int, windowEvents int) *WindowAccumulator {
 	if windowEvents < 1 {
 		windowEvents = 1
 	}
-	w := &WindowAccumulator{dims: append([]int(nil), dims...), WindowEvents: windowEvents}
+	w := &WindowAccumulator{
+		dims:         append([]int(nil), dims...),
+		WindowEvents: windowEvents,
+		now:          time.Now,
+	}
 	w.reset()
 	return w
+}
+
+// SetClock replaces the wall clock used for the timeout trigger
+// (testing).
+func (w *WindowAccumulator) SetClock(now func() time.Time) { w.now = now }
+
+// SetWindowEvents changes the events-per-window threshold, effective
+// immediately (a window already at or past the new threshold closes on
+// the next Add).
+func (w *WindowAccumulator) SetWindowEvents(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.WindowEvents = n
 }
 
 func (w *WindowAccumulator) reset() {
 	w.current = New(w.dims...)
 	w.current.Reserve(w.WindowEvents)
 	w.count = 0
+	w.started = time.Time{}
 }
 
 // Rejected returns how many malformed events Add has dropped so far.
 func (w *WindowAccumulator) Rejected() int { return w.rejected }
+
+// Pending returns the number of events in the open window.
+func (w *WindowAccumulator) Pending() int { return w.count }
 
 // accept reports whether the event is safe to admit: correct arity,
 // in-range coordinates, finite value.
@@ -120,24 +163,48 @@ func (w *WindowAccumulator) accept(e Event) bool {
 	return !math.IsNaN(e.Value) && !math.IsInf(e.Value, 0)
 }
 
-// Add appends one event; when the window fills, the coalesced slice is
-// returned (and a fresh window started), otherwise nil. Malformed
-// events are dropped, counted in Rejected, and do not advance the
-// window.
+// timedOut reports whether the open window is past its wall-clock
+// deadline.
+func (w *WindowAccumulator) timedOut() bool {
+	return w.WindowTimeout > 0 && w.count > 0 && w.now().Sub(w.started) >= w.WindowTimeout
+}
+
+// emit closes the current window and starts a fresh one.
+func (w *WindowAccumulator) emit() *Tensor {
+	out := w.current
+	out.Coalesce()
+	w.reset()
+	return out
+}
+
+// Add appends one event; when the window fills (by count, or by age
+// under WindowTimeout), the coalesced slice is returned and a fresh
+// window started, otherwise nil. Malformed events are dropped, counted
+// in Rejected, and do not advance the window.
 func (w *WindowAccumulator) Add(e Event) *Tensor {
 	if !w.accept(e) {
 		w.rejected++
 		return nil
 	}
+	if w.count == 0 {
+		w.started = w.now()
+	}
 	w.current.Append(e.Coord, e.Value)
 	w.count++
-	if w.count < w.WindowEvents {
+	if w.count < w.WindowEvents && !w.timedOut() {
 		return nil
 	}
-	out := w.current
-	out.Coalesce()
-	w.reset()
-	return out
+	return w.emit()
+}
+
+// Poll returns the open window as a slice if it has passed the
+// wall-clock timeout, else nil. Tick-driven producers call it so a
+// window that stopped receiving events still closes.
+func (w *WindowAccumulator) Poll() *Tensor {
+	if !w.timedOut() {
+		return nil
+	}
+	return w.emit()
 }
 
 // Flush returns the partial window as a slice (nil when empty) and
@@ -146,8 +213,5 @@ func (w *WindowAccumulator) Flush() *Tensor {
 	if w.count == 0 {
 		return nil
 	}
-	out := w.current
-	out.Coalesce()
-	w.reset()
-	return out
+	return w.emit()
 }

@@ -2,7 +2,10 @@ package sptensor
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestChannelSource(t *testing.T) {
@@ -159,5 +162,139 @@ func TestChannelSourceRejectsInvalidSlices(t *testing.T) {
 	}
 	if src.Next() != nil {
 		t.Fatal("closed channel should yield nil")
+	}
+}
+
+// fakeClock is a manually advanced clock for the timeout trigger.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestWindowAccumulatorCountTrigger(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowAccumulator([]int{4, 4}, 2)
+	w.WindowTimeout = time.Hour // far away: the count must trigger first
+	w.SetClock(clk.now)
+	if out := w.Add(Event{Coord: []int32{0, 0}, Value: 1}); out != nil {
+		t.Fatal("emitted before the window filled")
+	}
+	out := w.Add(Event{Coord: []int32{1, 1}, Value: 1})
+	if out == nil || out.NNZ() != 2 {
+		t.Fatalf("count trigger failed: %v", out)
+	}
+}
+
+func TestWindowAccumulatorTimeoutTrigger(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowAccumulator([]int{4, 4}, 1000) // count will never trigger
+	w.WindowTimeout = time.Second
+	w.SetClock(clk.now)
+	if out := w.Add(Event{Coord: []int32{0, 0}, Value: 1}); out != nil {
+		t.Fatal("emitted immediately")
+	}
+	// An event arriving after the deadline closes the window with it.
+	clk.advance(2 * time.Second)
+	out := w.Add(Event{Coord: []int32{1, 1}, Value: 1})
+	if out == nil || out.NNZ() != 2 {
+		t.Fatalf("timeout trigger on Add failed: %v", out)
+	}
+	// The window restarted: a fresh event does not inherit the old age.
+	if out := w.Add(Event{Coord: []int32{2, 2}, Value: 1}); out != nil {
+		t.Fatal("fresh window inherited the expired deadline")
+	}
+	// Poll closes an aged window with no new events (sparse feed).
+	if out := w.Poll(); out != nil {
+		t.Fatal("Poll emitted before the deadline")
+	}
+	clk.advance(2 * time.Second)
+	out = w.Poll()
+	if out == nil || out.NNZ() != 1 {
+		t.Fatalf("Poll after the deadline failed: %v", out)
+	}
+	// An empty window never times out.
+	clk.advance(time.Hour)
+	if out := w.Poll(); out != nil {
+		t.Fatal("empty window emitted")
+	}
+}
+
+func TestWindowAccumulatorSetWindowEvents(t *testing.T) {
+	w := NewWindowAccumulator([]int{4, 4}, 2)
+	w.Add(Event{Coord: []int32{0, 0}, Value: 1})
+	w.SetWindowEvents(4) // widen mid-window (the degradation ladder's move)
+	if out := w.Add(Event{Coord: []int32{1, 1}, Value: 1}); out != nil {
+		t.Fatal("widened window emitted at the old threshold")
+	}
+	w.Add(Event{Coord: []int32{2, 2}, Value: 1})
+	if out := w.Add(Event{Coord: []int32{3, 3}, Value: 1}); out == nil || out.NNZ() != 4 {
+		t.Fatalf("widened window wrong: %v", out)
+	}
+	w.SetWindowEvents(0) // clamps to 1
+	if out := w.Add(Event{Coord: []int32{0, 1}, Value: 1}); out == nil || out.NNZ() != 1 {
+		t.Fatalf("narrowed window wrong: %v", out)
+	}
+}
+
+// TestChannelSourceConcurrentProducers is the race test for the live
+// ingestion fan-in: several producer goroutines feed the channel
+// (valid and invalid slices) while another goroutine polls Rejected —
+// the monitoring pattern a stats reporter uses. Run under -race in CI.
+func TestChannelSourceConcurrentProducers(t *testing.T) {
+	const producers = 4
+	const perProducer = 50
+	ch := make(chan *Tensor, 16)
+	src := NewChannelSource([]int{3, 3}, ch)
+
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if i%5 == 4 {
+					ch <- New(3, 4) // wrong shape: must be rejected
+					continue
+				}
+				x := New(3, 3)
+				x.Append([]int32{int32(pr % 3), int32(i % 3)}, 1)
+				ch <- x
+			}
+		}(pr)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	stop := make(chan struct{})
+	var polls atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = src.Rejected() // concurrent poll under -race
+				polls.Add(1)
+			}
+		}
+	}()
+
+	got := 0
+	for src.Next() != nil {
+		got++
+	}
+	close(stop)
+	wantRejected := producers * perProducer / 5
+	if got != producers*perProducer-wantRejected {
+		t.Fatalf("consumed %d slices, want %d", got, producers*perProducer-wantRejected)
+	}
+	if src.Rejected() != wantRejected {
+		t.Fatalf("Rejected = %d, want %d", src.Rejected(), wantRejected)
+	}
+	if polls.Load() == 0 {
+		t.Fatal("stats poller never ran")
 	}
 }

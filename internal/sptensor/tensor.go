@@ -95,6 +95,21 @@ func (t *Tensor) Clone() *Tensor {
 	return out
 }
 
+// Merge appends every nonzero of other (same mode lengths required)
+// without aggregating duplicates; call Coalesce afterwards to combine
+// coordinates the two tensors share. The ingestion layer uses it to
+// fold a pending window into its neighbour under the Coalesce shed
+// policy.
+func (t *Tensor) Merge(other *Tensor) {
+	if len(other.Dims) != len(t.Dims) {
+		panic(fmt.Sprintf("sptensor: Merge of %d-mode tensor into %d-mode tensor", len(other.Dims), len(t.Dims)))
+	}
+	for m := range t.Inds {
+		t.Inds[m] = append(t.Inds[m], other.Inds[m]...)
+	}
+	t.Vals = append(t.Vals, other.Vals...)
+}
+
 // Norm2 returns the squared Frobenius norm Σ val², assuming coordinates
 // are unique (duplicates would need coalescing first).
 func (t *Tensor) Norm2() float64 {

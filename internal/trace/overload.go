@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Overload accumulates the live-ingestion overload counters: what the
+// bounded pipeline did with every produced slice (processed, shed by
+// policy, shed stale, coalesced, …) plus the lag gauges the degradation
+// controller steers by. All fields are atomics so a producer, the
+// consumer loop, and a stats poller can touch them concurrently; the
+// queue/pipeline in internal/ingest is the writer.
+type Overload struct {
+	// Produced counts slices offered to the pipeline.
+	Produced atomic.Int64
+	// Processed counts slices the decomposer solved.
+	Processed atomic.Int64
+	// Failed counts slices whose solve returned an error (including
+	// slices skipped by the resilience policy).
+	Failed atomic.Int64
+	// ShedNewest and ShedOldest count slices dropped by the DropNewest
+	// and DropOldest queue policies.
+	ShedNewest atomic.Int64
+	ShedOldest atomic.Int64
+	// ShedStale counts slices shed because they exceeded the max-lag
+	// deadline between admission and solving.
+	ShedStale atomic.Int64
+	// ShedDrain counts slices still queued when the drain deadline
+	// expired (or offered after the drain began).
+	ShedDrain atomic.Int64
+	// Coalesced counts slices merged into a pending slice under the
+	// Coalesce policy; CoalescedEvents counts the nonzeros carried over
+	// by those merges (aggregated, not lost).
+	Coalesced       atomic.Int64
+	CoalescedEvents atomic.Int64
+	// DegradeSteps and RestoreSteps count quality-ladder transitions.
+	DegradeSteps atomic.Int64
+	RestoreSteps atomic.Int64
+	// QueueHighWater is the maximum queue depth observed.
+	QueueHighWater atomic.Int64
+	// LagEWMANanos is the exponentially weighted admission-to-solve lag
+	// gauge, in nanoseconds.
+	LagEWMANanos atomic.Int64
+}
+
+// Shed returns the total slices shed across every cause.
+func (o *Overload) Shed() int64 {
+	return o.ShedNewest.Load() + o.ShedOldest.Load() + o.ShedStale.Load() + o.ShedDrain.Load()
+}
+
+// RaiseHighWater lifts QueueHighWater to depth if it is a new maximum.
+func (o *Overload) RaiseHighWater(depth int64) {
+	for {
+		cur := o.QueueHighWater.Load()
+		if depth <= cur || o.QueueHighWater.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
+
+// OverloadSnapshot is a plain-integer copy of an Overload, safe to
+// compare and print after the pipeline has drained.
+type OverloadSnapshot struct {
+	Produced, Processed, Failed                int64
+	ShedNewest, ShedOldest, ShedStale          int64
+	ShedDrain, Coalesced, CoalescedEvents      int64
+	DegradeSteps, RestoreSteps, QueueHighWater int64
+	LagEWMA                                    time.Duration
+}
+
+// Snapshot copies the counters at one instant.
+func (o *Overload) Snapshot() OverloadSnapshot {
+	return OverloadSnapshot{
+		Produced:        o.Produced.Load(),
+		Processed:       o.Processed.Load(),
+		Failed:          o.Failed.Load(),
+		ShedNewest:      o.ShedNewest.Load(),
+		ShedOldest:      o.ShedOldest.Load(),
+		ShedStale:       o.ShedStale.Load(),
+		ShedDrain:       o.ShedDrain.Load(),
+		Coalesced:       o.Coalesced.Load(),
+		CoalescedEvents: o.CoalescedEvents.Load(),
+		DegradeSteps:    o.DegradeSteps.Load(),
+		RestoreSteps:    o.RestoreSteps.Load(),
+		QueueHighWater:  o.QueueHighWater.Load(),
+		LagEWMA:         time.Duration(o.LagEWMANanos.Load()),
+	}
+}
+
+// Shed returns the snapshot's total shed count.
+func (s OverloadSnapshot) Shed() int64 {
+	return s.ShedNewest + s.ShedOldest + s.ShedStale + s.ShedDrain
+}
+
+// String renders the snapshot as one stats line.
+func (s OverloadSnapshot) String() string {
+	return fmt.Sprintf("produced=%d processed=%d failed=%d shed=%d (newest=%d oldest=%d stale=%d drain=%d) coalesced=%d (+%d events) degrade=%d restore=%d highwater=%d lag-ewma=%v",
+		s.Produced, s.Processed, s.Failed, s.Shed(), s.ShedNewest, s.ShedOldest, s.ShedStale, s.ShedDrain,
+		s.Coalesced, s.CoalescedEvents, s.DegradeSteps, s.RestoreSteps, s.QueueHighWater, s.LagEWMA.Round(time.Microsecond))
+}

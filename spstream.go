@@ -32,6 +32,7 @@ import (
 	"spstream/internal/baselines"
 	"spstream/internal/core"
 	"spstream/internal/dense"
+	"spstream/internal/ingest"
 	"spstream/internal/resilience"
 	"spstream/internal/sptensor"
 	"spstream/internal/synth"
@@ -84,6 +85,21 @@ type (
 	// CheckpointManager writes crash-safe periodic checkpoints into a
 	// directory and restores the newest valid one.
 	CheckpointManager = resilience.Manager
+	// IngestPipeline is the bounded live-ingestion pipeline: a shed
+	// queue feeding a consumer goroutine, with optional lag-aware
+	// graceful degradation.
+	IngestPipeline = ingest.Pipeline
+	// IngestConfig configures an IngestPipeline (queue capacity, shed
+	// policy, max lag, degradation, drain timeout).
+	IngestConfig = ingest.Config
+	// ShedPolicy selects what a full ingest queue does with new slices.
+	ShedPolicy = ingest.ShedPolicy
+	// DegradeConfig tunes the lag-aware degradation controller
+	// (IngestConfig.Degrade).
+	DegradeConfig = ingest.ControllerConfig
+	// OverloadStats is a point-in-time snapshot of the overload
+	// counters (produced, processed, shed, coalesced, …).
+	OverloadStats = trace.OverloadSnapshot
 )
 
 // Resilience policies (see ResiliencePolicy).
@@ -95,6 +111,34 @@ const (
 	// SkipSlice drops the failed slice and continues the stream.
 	SkipSlice = resilience.SkipSlice
 )
+
+// Shed policies for a full ingest queue (see ShedPolicy).
+const (
+	// ShedBlock applies backpressure: Offer waits for space.
+	ShedBlock = ingest.Block
+	// ShedDropNewest rejects the incoming slice.
+	ShedDropNewest = ingest.DropNewest
+	// ShedDropOldest evicts the oldest queued slice.
+	ShedDropOldest = ingest.DropOldest
+	// ShedCoalesce merges the incoming slice into the newest queued
+	// one — no events lost, coarser windows.
+	ShedCoalesce = ingest.Coalesce
+)
+
+// NewIngestPipeline wraps a decomposer (or any Processor) in a bounded
+// ingestion pipeline. Call Start, Offer slices from any goroutine, and
+// Drain on shutdown.
+func NewIngestPipeline(proc ingest.Processor, cfg IngestConfig) (*IngestPipeline, error) {
+	return ingest.New(proc, cfg)
+}
+
+// ParseShedPolicy parses "block", "drop-newest", "drop-oldest" or
+// "coalesce" (flag values).
+func ParseShedPolicy(s string) (ShedPolicy, error) { return ingest.ParseShedPolicy(s) }
+
+// ErrIngestDraining is returned by IngestPipeline.Offer after Drain has
+// begun.
+var ErrIngestDraining = ingest.ErrDraining
 
 // Resilience sentinel errors, matched with errors.Is.
 var (
