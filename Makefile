@@ -2,12 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench lint repro repro-measure fuzz clean
+# Build identification stamped into every binary (internal/version).
+VERSION   ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT    ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+BUILDDATE ?= $(shell date -u +%Y-%m-%dT%H:%M:%SZ)
+LDFLAGS   = -ldflags "-X spstream/internal/version.Version=$(VERSION) \
+	-X spstream/internal/version.Commit=$(COMMIT) \
+	-X spstream/internal/version.BuildDate=$(BUILDDATE)"
+
+.PHONY: all build test race cover bench lint repro repro-measure fuzz e2e clean
 
 all: build test
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 	$(GO) vet ./...
 
 test:
@@ -37,6 +45,12 @@ repro:
 # Measure the real kernels on this host (worker sweep up to GOMAXPROCS).
 repro-measure:
 	$(GO) run ./cmd/paperbench -exp all -mode measure -scale 0.1 -slices 2 | tee docs/paperbench_measure.txt
+
+# End-to-end smoke of the serving daemon: builds cmd/spstreamd, runs it
+# through overload (429), breaker-open (503), SIGTERM drain/checkpoint
+# and resume phases over real HTTP, all under the race detector.
+e2e:
+	$(GO) test -race -run 'TestE2E' -v ./cmd/spstreamd/
 
 fuzz:
 	$(GO) test -fuzz FuzzReadTNS -fuzztime 30s ./internal/sptensor/

@@ -28,6 +28,7 @@ import (
 	"spstream"
 	"spstream/internal/resilience"
 	"spstream/internal/trace"
+	"spstream/internal/version"
 )
 
 // stopCPUProfile flushes an in-flight CPU profile; fatal() must call it
@@ -66,8 +67,13 @@ func main() {
 		drainTmout = flag.Duration("drain-timeout", 30*time.Second, "max time to flush the ingest backlog on shutdown")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		showVer    = flag.Bool("version", false, "print version/build information and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("cpstream", version.String())
+		return
+	}
 
 	// SIGINT/SIGTERM cancel the stream at the next iteration boundary;
 	// the decomposer is then still consistent and checkpointable.

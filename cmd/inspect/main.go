@@ -16,6 +16,7 @@ import (
 
 	"spstream/internal/sptensor"
 	"spstream/internal/synth"
+	"spstream/internal/version"
 )
 
 func main() {
@@ -26,8 +27,13 @@ func main() {
 		streamMode = flag.Int("streammode", -1, "streaming mode to slice along (-1 = inspect whole tensor)")
 		slice      = flag.Int("slice", -1, "inspect this time slice (requires -streammode for -input; presets stream implicitly)")
 		bins       = flag.Int("bins", 40, "histogram buckets per mode")
+		showVer    = flag.Bool("version", false, "print version/build information and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("inspect", version.String())
+		return
+	}
 
 	t, err := load(*input, *preset, *scale, *streamMode, *slice)
 	if err != nil {

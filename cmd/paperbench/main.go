@@ -27,6 +27,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+
+	"spstream/internal/version"
 )
 
 func main() {
@@ -40,8 +42,13 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write raw per-experiment series as CSV files into this directory (model mode)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (useful with -mode measure)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		showVer    = flag.Bool("version", false, "print version/build information and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("paperbench", version.String())
+		return
+	}
 
 	stopProfiles := func() {}
 	if *cpuprofile != "" {

@@ -1,0 +1,267 @@
+// Command spstreamd is the streaming-decomposition daemon: the ingest
+// pipeline and the resilient solver run in the background while an
+// HTTP API serves the current model.
+//
+// Endpoints:
+//
+//	POST /v1/ingest        event lines ("i j k [value]", 1-based); ?flush=1
+//	GET  /v1/factors       the published snapshot (?mode=N for one mode)
+//	GET  /v1/reconstruct   model value at ?coord=i,j,…
+//	GET  /v1/stats         build info, breaker state, overload/recovery counters
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while the breaker is open or draining)
+//
+// The serving contract: reads always see a committed slice boundary
+// (snapshot isolation — never a mid-solve or rolled-back state), a full
+// queue answers 429 + Retry-After instead of hanging, and consecutive
+// solver failures open a circuit breaker that sheds ingest with 503
+// until a half-open probe slice succeeds. SIGINT/SIGTERM drain the
+// backlog (bounded by -drain-timeout), write a final checkpoint when
+// -checkpoint-dir is set, finish in-flight reads, and exit 0; on
+// restart the newest checkpoint is restored.
+//
+// Examples:
+//
+//	spstreamd -addr :8080 -dims 100,100 -rank 8 -checkpoint-dir /var/lib/spstream
+//	curl -s localhost:8080/v1/stats | jq .breaker
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"spstream/internal/core"
+	"spstream/internal/ingest"
+	"spstream/internal/resilience"
+	"spstream/internal/serve"
+	"spstream/internal/version"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address (\":0\" picks a free port, printed on startup)")
+		dimsFlag = flag.String("dims", "", "mode lengths of each event's coordinates, comma separated (required)")
+		rank     = flag.Int("rank", 8, "decomposition rank")
+		alg      = flag.String("alg", "spcp", "algorithm: baseline, optimized, spcp")
+		mu       = flag.Float64("mu", 0.95, "forgetting factor")
+		window   = flag.Int("window", 1000, "events per window/slice")
+		queueCap = flag.Int("queue", 8, "max windows buffered between API and solver")
+		shed     = flag.String("shed-policy", "drop-newest", "full-queue policy: drop-newest, drop-oldest, coalesce")
+		maxLag   = flag.Duration("max-lag", 0, "shed windows older than this at solve time (0 = never)")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "max time to flush the backlog on shutdown")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "restore from and checkpoint into this directory")
+		ckptEvery = flag.Int("every", 10, "checkpoint every N committed slices")
+		ckptKeep  = flag.Int("keep", 3, "checkpoints to retain")
+
+		onError  = flag.String("on-error", "skip", "slice-failure policy: abort, retry, skip")
+		sliceTO  = flag.Duration("slice-timeout", 0, "per-slice solve deadline (0 = none)")
+		brkFails = flag.Int("breaker-failures", 3, "consecutive solver failures that open the circuit breaker")
+		brkCool  = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open→half-open cooldown")
+
+		bodyLimit = flag.Int64("body-limit", 8<<20, "max request body bytes")
+		reqTO     = flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline")
+
+		chaos   = flag.String("chaos", "", "fault injection spec for testing, e.g. \"fail=3-5\" or \"stall=2-2:200ms\" (begin-attempt ordinals, 1-based)")
+		showVer = flag.Bool("version", false, "print version/build information and exit")
+	)
+	flag.Parse()
+	if *showVer {
+		fmt.Println("spstreamd", version.String())
+		return
+	}
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	algorithm, err := parseAlg(*alg)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := ingest.ParseShedPolicy(*shed)
+	if err != nil {
+		fatal(err)
+	}
+	if policy == ingest.Block {
+		fatal(fmt.Errorf("the block policy would hang HTTP ingest; use a shedding policy"))
+	}
+	rpolicy, err := resilience.ParsePolicy(*onError)
+	if err != nil {
+		fatal(err)
+	}
+	rcfg := &resilience.Config{Policy: rpolicy, SliceTimeout: *sliceTO}
+	if *chaos != "" {
+		hook, err := parseChaos(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		rcfg.FaultHook = hook
+		fmt.Fprintf(os.Stderr, "spstreamd: CHAOS MODE: %s\n", *chaos)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Dims: dims,
+		Options: core.Options{
+			Rank:       *rank,
+			Algorithm:  algorithm,
+			Mu:         *mu,
+			TrackFit:   true,
+			Normalize:  true,
+			Resilience: rcfg,
+		},
+		WindowEvents:    *window,
+		QueueCap:        *queueCap,
+		Policy:          policy,
+		MaxLag:          *maxLag,
+		DrainTimeout:    *drainTO,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		CheckpointKeep:  *ckptKeep,
+		BreakerFailures: *brkFails,
+		BreakerCooldown: *brkCool,
+		BodyLimit:       *bodyLimit,
+		RequestTimeout:  *reqTO,
+		Version:         version.String(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "spstreamd: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The e2e harness (and humans using :0) parse this line.
+	fmt.Printf("spstreamd %s listening on %s\n", version.Version, ln.Addr())
+
+	// First signal: graceful drain. Restoring default handling as soon
+	// as it fires means a second signal force-quits a wedged drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	if err := srv.Run(ctx, ln); err != nil {
+		fatal(err)
+	}
+}
+
+// parseChaos parses the -chaos spec: comma-separated directives
+// "fail=A-B" (inject resilience.ErrDiverged) and "stall=A-B:DUR"
+// (sleep DUR), where A-B is a 1-based inclusive range of *begin
+// attempts* — every slice attempt, including retries, increments the
+// counter. Attempt ordinals (not slice indices) key the injection
+// because the slice counter does not advance across failed slices.
+func parseChaos(spec string) (resilience.Hook, error) {
+	type rule struct {
+		lo, hi int64
+		stall  time.Duration
+		fail   bool
+	}
+	var rules []rule
+	for _, part := range strings.Split(spec, ",") {
+		kind, arg, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad chaos directive %q", part)
+		}
+		r := rule{}
+		rangeStr := arg
+		switch kind {
+		case "fail":
+			r.fail = true
+		case "stall":
+			var durStr string
+			rangeStr, durStr, ok = strings.Cut(arg, ":")
+			if !ok {
+				return nil, fmt.Errorf("stall needs a duration: %q", part)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad stall duration %q: %v", durStr, err)
+			}
+			r.stall = d
+		default:
+			return nil, fmt.Errorf("unknown chaos directive %q (want fail, stall)", kind)
+		}
+		loStr, hiStr, ok := strings.Cut(rangeStr, "-")
+		if !ok {
+			hiStr = loStr
+		}
+		lo, err1 := strconv.ParseInt(loStr, 10, 64)
+		hi, err2 := strconv.ParseInt(hiStr, 10, 64)
+		if err1 != nil || err2 != nil || lo < 1 || hi < lo {
+			return nil, fmt.Errorf("bad chaos range %q", rangeStr)
+		}
+		r.lo, r.hi = lo, hi
+		rules = append(rules, r)
+	}
+	var begins atomic.Int64
+	return func(f resilience.Fault) error {
+		if f.Stage != resilience.StageBegin {
+			return nil
+		}
+		n := begins.Add(1)
+		for _, r := range rules {
+			if n < r.lo || n > r.hi {
+				continue
+			}
+			if r.stall > 0 {
+				time.Sleep(r.stall)
+			}
+			if r.fail {
+				return fmt.Errorf("chaos: injected failure at begin attempt %d: %w", n, resilience.ErrDiverged)
+			}
+		}
+		return nil
+	}, nil
+}
+
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-dims is required")
+	}
+	var dims []int
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad dimension %q", part)
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("need at least 2 modes")
+	}
+	return dims, nil
+}
+
+func parseAlg(s string) (core.Algorithm, error) {
+	switch s {
+	case "baseline":
+		return core.Baseline, nil
+	case "optimized":
+		return core.Optimized, nil
+	case "spcp":
+		return core.SpCPStream, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spstreamd:", err)
+	os.Exit(1)
+}

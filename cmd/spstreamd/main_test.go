@@ -1,0 +1,40 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"spstream/internal/resilience"
+)
+
+func TestParseChaos(t *testing.T) {
+	hook, err := parseChaos("fail=2-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	begin := func() error { return hook(resilience.Fault{Stage: resilience.StageBegin}) }
+	if err := begin(); err != nil {
+		t.Fatalf("attempt 1 should pass: %v", err)
+	}
+	for i := 2; i <= 3; i++ {
+		if err := begin(); !errors.Is(err, resilience.ErrDiverged) {
+			t.Fatalf("attempt %d = %v, want ErrDiverged", i, err)
+		}
+	}
+	if err := begin(); err != nil {
+		t.Fatalf("attempt 4 should pass: %v", err)
+	}
+	// Non-begin stages are never injected.
+	if err := hook(resilience.Fault{Stage: resilience.StageIterate}); err != nil {
+		t.Fatalf("iterate stage injected: %v", err)
+	}
+
+	for _, bad := range []string{"x", "fail=", "fail=0-2", "fail=5-3", "stall=1-2", "stall=1-2:zz", "boom=1-2"} {
+		if _, err := parseChaos(bad); err == nil {
+			t.Errorf("parseChaos(%q) accepted", bad)
+		}
+	}
+	if _, err := parseChaos("fail=4,stall=1-2:10ms"); err != nil {
+		t.Fatalf("compound spec rejected: %v", err)
+	}
+}

@@ -16,23 +16,29 @@ import (
 
 	"spstream/internal/sptensor"
 	"spstream/internal/synth"
+	"spstream/internal/version"
 )
 
 func main() {
 	var (
-		preset = flag.String("preset", "", "built-in preset: patents, flickr, uber, nips")
-		scale  = flag.Float64("scale", 0.2, "preset scale")
-		dims   = flag.String("dims", "", "custom mode lengths, comma separated (non-streaming modes)")
-		slices = flag.Int("slices", 20, "custom: number of time slices")
-		nnz    = flag.Int("nnz", 10000, "custom: nonzeros per slice")
-		zipf   = flag.Float64("zipf", 0, "custom: Zipf exponent for index skew (0 = uniform)")
-		rank   = flag.Int("rank", 8, "custom: planted low-rank structure rank (0 = count values)")
-		noise  = flag.Float64("noise", 0.05, "custom: noise std dev on planted values")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		out    = flag.String("o", "", "output .tns file (default stdout)")
-		binary = flag.Bool("binary", false, "write the compact binary format instead of .tns text")
+		preset  = flag.String("preset", "", "built-in preset: patents, flickr, uber, nips")
+		scale   = flag.Float64("scale", 0.2, "preset scale")
+		dims    = flag.String("dims", "", "custom mode lengths, comma separated (non-streaming modes)")
+		slices  = flag.Int("slices", 20, "custom: number of time slices")
+		nnz     = flag.Int("nnz", 10000, "custom: nonzeros per slice")
+		zipf    = flag.Float64("zipf", 0, "custom: Zipf exponent for index skew (0 = uniform)")
+		rank    = flag.Int("rank", 8, "custom: planted low-rank structure rank (0 = count values)")
+		noise   = flag.Float64("noise", 0.05, "custom: noise std dev on planted values")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output .tns file (default stdout)")
+		binary  = flag.Bool("binary", false, "write the compact binary format instead of .tns text")
+		showVer = flag.Bool("version", false, "print version/build information and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("tensorgen", version.String())
+		return
+	}
 
 	cfg, err := buildConfig(*preset, *scale, *dims, *slices, *nnz, *zipf, *rank, *noise, *seed)
 	if err != nil {

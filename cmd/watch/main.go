@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"spstream"
+	"spstream/internal/version"
 )
 
 // config is the parsed flag set; run takes it whole so tests can drive
@@ -76,8 +77,13 @@ func main() {
 		windowTO  = flag.Duration("window-timeout", 0, "emit a partial window after this much wall-clock time (0 = count only)")
 		ckptDir   = flag.String("checkpoint-dir", "", "write a crash-safe checkpoint here on graceful shutdown")
 		statsFlag = flag.Bool("stats", false, "print produced/processed/shed/coalesced/rejected counters on exit")
+		showVer   = flag.Bool("version", false, "print version/build information and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("watch", version.String())
+		return
+	}
 	dims, err := parseDims(*dimsFlag)
 	if err != nil {
 		fatal(err)

@@ -66,7 +66,22 @@ type Decomposer struct {
 	snap         *stateSnapshot
 	sliceAttempt int
 	iterNo       int
+
+	// commitHook, when set, observes every committed slice (see
+	// SetCommitHook).
+	commitHook func(SliceResult)
 }
+
+// SetCommitHook registers a callback invoked immediately after a slice
+// commits — ProcessSliceContext returning nil, with the factor state
+// advanced to include the slice. It never fires for failed, skipped,
+// rolled-back, or cancelled slices, so a hook that snapshots the
+// factors (the serving layer's snapshot publisher) can never observe
+// state a later rollback will retract: by the time the hook runs, the
+// slice's mutations are final. The hook runs on the goroutine driving
+// the decomposer, while it is quiescent — reading factors, Fit, and T
+// inside the hook is safe; retaining references past its return is not.
+func (d *Decomposer) SetCommitHook(h func(SliceResult)) { d.commitHook = h }
 
 // coreArgs carries addMulAB/solveRows operands through the worker pool
 // without closures; owned by the Decomposer and cleared after each call.

@@ -246,6 +246,19 @@ func (d *Decomposer) runSlice(ctx context.Context, x *sptensor.Tensor) (res Slic
 // resilience.ErrSliceSkipped alongside a result with Skipped set; the
 // decomposer remains at its pre-slice state and can keep streaming.
 func (d *Decomposer) ProcessSliceContext(ctx context.Context, x *sptensor.Tensor) (SliceResult, error) {
+	res, err := d.processSliceCtx(ctx, x)
+	if err == nil && d.commitHook != nil {
+		// The slice is committed: every return path with err == nil has
+		// passed the health check (guarded mode) and advanced t.
+		// Rollback/skip/cancel paths all carry non-nil errors, so the
+		// hook observes only states that will never be retracted.
+		d.commitHook(res)
+	}
+	return res, err
+}
+
+// processSliceCtx is ProcessSliceContext without the commit hook.
+func (d *Decomposer) processSliceCtx(ctx context.Context, x *sptensor.Tensor) (SliceResult, error) {
 	if err := d.checkSlice(x); err != nil {
 		return SliceResult{}, err
 	}

@@ -68,3 +68,12 @@ func (d *Decomposer) NoteOverload(shed, coalesced, stale, drained int) {
 	d.stats.StaleSheds += stale
 	d.stats.DrainedSlices += drained
 }
+
+// NoteBreaker folds the serving layer's circuit-breaker counters into
+// the recovery stats (open transitions, half-open probes, and slices
+// shed at admission while the breaker was open).
+func (d *Decomposer) NoteBreaker(opens, probes, sheds int) {
+	d.stats.BreakerOpens += opens
+	d.stats.BreakerProbes += probes
+	d.stats.BreakerSheds += sheds
+}

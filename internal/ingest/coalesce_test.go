@@ -54,8 +54,9 @@ func TestCoalescedStreamConvergesClose(t *testing.T) {
 	for i := 0; i < len(s.Slices); i += 2 {
 		merged := s.Slices[i].Clone()
 		if i+1 < len(s.Slices) {
-			merged.Merge(s.Slices[i+1])
-			merged.Coalesce()
+			if err := merged.Merge(s.Slices[i+1]); err != nil {
+				t.Fatal(err)
+			}
 		}
 		res, err := coarse.ProcessSlice(merged)
 		if err != nil {
@@ -90,8 +91,9 @@ func TestCoalescedStreamConvergesClose(t *testing.T) {
 	for i := 0; i < len(s.Slices); i += 2 {
 		merged := s.Slices[i].Clone()
 		if i+1 < len(s.Slices) {
-			merged.Merge(s.Slices[i+1])
-			merged.Coalesce()
+			if err := merged.Merge(s.Slices[i+1]); err != nil {
+				t.Fatal(err)
+			}
 		}
 		for _, v := range merged.Vals {
 			nnzCoarse += v

@@ -27,6 +27,18 @@ type overloadNoter interface {
 // pipeline's context ended); the offered slice is accounted as shed.
 var ErrDraining = errors.New("ingest: pipeline is draining")
 
+// ErrGateClosed is returned by Offer/Admit when the admission gate
+// (Config.Gate — the serving layer's circuit breaker) refused the
+// slice; it is accounted as a breaker shed.
+var ErrGateClosed = errors.New("ingest: admission gate closed (circuit breaker open)")
+
+// ErrQueueFull is returned by Admit when the full-queue policy shed
+// the offered slice instead of queueing it (DropNewest). Offer keeps
+// its fire-and-forget contract and returns nil for policy sheds; Admit
+// exists for admission-controlled producers (the HTTP serving layer)
+// that must translate the shed into backpressure (429 Retry-After).
+var ErrQueueFull = errors.New("ingest: queue full, slice shed")
+
 // Config parameterizes a Pipeline. The zero value is a bounded
 // blocking (backpressure) pipeline with no lag shedding and no
 // degradation.
@@ -62,6 +74,14 @@ type Config struct {
 	// meaningless to the runtime timer); pop-time staleness shedding
 	// still applies.
 	Clock func() time.Time
+	// Gate, when non-nil, is consulted before every Offer/Admit touches
+	// the queue; a false return sheds the slice (counted in
+	// ShedBreaker) and surfaces ErrGateClosed to the producer. The
+	// serving layer wires its circuit breaker's Allow here so an
+	// unhealthy solver stops admissions at the front door, keeping the
+	// accounting invariant produced == processed+failed+coalesced+shed
+	// exact across breaker-open phases.
+	Gate func() bool
 }
 
 // Pipeline is the bounded, overload-robust conveyor between a slice
@@ -122,14 +142,45 @@ func (p *Pipeline) Start(ctx context.Context) {
 // waits for queue space (backpressure); under the shedding policies it
 // returns immediately. Every offered slice is counted exactly once:
 // queued, shed, or coalesced. After Drain begins, Offer returns
-// ErrDraining (the slice is accounted as drain-shed).
+// ErrDraining (the slice is accounted as drain-shed); a closed
+// admission gate returns ErrGateClosed. Policy sheds return nil — a
+// fire-and-forget feed should keep feeding.
 func (p *Pipeline) Offer(x *sptensor.Tensor) error {
+	err := p.admit(x)
+	if errors.Is(err, ErrQueueFull) {
+		return nil
+	}
+	return err
+}
+
+// Admit is Offer for admission-controlled producers: identical
+// accounting, but sheds at the admission boundary are reported —
+// ErrGateClosed when the gate (circuit breaker) refused, ErrQueueFull
+// when the DropNewest policy shed the slice, ErrDraining after Drain
+// began. Under DropOldest/Coalesce the new slice is always absorbed
+// (nil), at the cost of older data; under Block, Admit waits like
+// Offer does.
+func (p *Pipeline) Admit(x *sptensor.Tensor) error {
+	return p.admit(x)
+}
+
+// admit is the shared admission path; it classifies every produced
+// slice exactly once.
+func (p *Pipeline) admit(x *sptensor.Tensor) error {
 	p.ov.Produced.Add(1)
+	if p.cfg.Gate != nil && !p.cfg.Gate() {
+		p.ov.ShedBreaker.Add(1)
+		return ErrGateClosed
+	}
 	if !p.q.push(x) {
-		// push already classified the slice (shed or coalesced); only
-		// a closed queue is an error the producer should see.
+		// push already classified the slice (shed or coalesced); the
+		// producer-visible errors are a closed queue and a DropNewest
+		// shed.
 		if p.q.isClosed() {
 			return ErrDraining
+		}
+		if p.cfg.Policy == DropNewest {
+			return ErrQueueFull
 		}
 	}
 	return nil

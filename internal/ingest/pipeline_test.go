@@ -317,3 +317,84 @@ func TestDrainWritesRestorableCheckpoint(t *testing.T) {
 		t.Fatalf("restored t=%d, want %d", restored.T(), dec.T())
 	}
 }
+
+// TestAdmissionGateShedsWithExactAccounting: a closed gate (the
+// serving layer's open circuit breaker) refuses admissions with
+// ErrGateClosed, counts them as breaker sheds, and the exactly-once
+// invariant extends across gate sheds, queue-full sheds, and normal
+// processing within one stream.
+func TestAdmissionGateShedsWithExactAccounting(t *testing.T) {
+	s := overloadStream(t, 30, 11)
+	dec, err := core.NewDecomposer(s.Dims, core.Options{Rank: 4, Algorithm: core.Optimized, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gateOpen = true
+	p, err := New(dec, Config{
+		QueueCap: 4,
+		Policy:   DropNewest,
+		Gate:     func() bool { return gateOpen },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start(context.Background())
+	var gateSheds int64
+	for i, x := range s.Slices {
+		gateOpen = i < 10 || i >= 20 // breaker "open" for the middle third
+		err := p.Admit(x)
+		switch {
+		case !gateOpen:
+			if err != ErrGateClosed {
+				t.Fatalf("slice %d: gate closed but Admit returned %v", i, err)
+			}
+			gateSheds++
+		case err == ErrQueueFull || err == nil:
+			// Both are legitimate for an open gate under DropNewest.
+		default:
+			t.Fatalf("slice %d: unexpected Admit error %v", i, err)
+		}
+	}
+	snap := p.Drain(context.Background())
+	checkAccounting(t, p)
+	if snap.ShedBreaker != gateSheds || gateSheds != 10 {
+		t.Fatalf("breaker sheds = %d (returned %d), want 10", snap.ShedBreaker, gateSheds)
+	}
+	if snap.Produced != int64(len(s.Slices)) {
+		t.Fatalf("produced = %d, want %d (gate sheds must still be produced)", snap.Produced, len(s.Slices))
+	}
+}
+
+// TestAdmitReportsQueueFull: under DropNewest, Admit surfaces the
+// policy shed that Offer deliberately hides, so an HTTP producer can
+// translate it into backpressure.
+func TestAdmitReportsQueueFull(t *testing.T) {
+	s := overloadStream(t, 6, 12)
+	dec, err := core.NewDecomposer(s.Dims, core.Options{Rank: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(dec, Config{QueueCap: 2, Policy: DropNewest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start: the queue fills and stays full, making the shed
+	// deterministic.
+	for i := 0; i < 2; i++ {
+		if err := p.Admit(s.Slices[i]); err != nil {
+			t.Fatalf("admit %d into empty queue: %v", i, err)
+		}
+	}
+	if err := p.Admit(s.Slices[2]); err != ErrQueueFull {
+		t.Fatalf("Admit into full queue = %v, want ErrQueueFull", err)
+	}
+	if err := p.Offer(s.Slices[3]); err != nil {
+		t.Fatalf("Offer must hide the policy shed, got %v", err)
+	}
+	if got := p.Stats().ShedNewest; got != 2 {
+		t.Fatalf("ShedNewest = %d, want 2", got)
+	}
+	p.Start(context.Background())
+	p.Drain(context.Background())
+	checkAccounting(t, p)
+}

@@ -76,9 +76,14 @@ func (q *queue) push(x *sptensor.Tensor) bool {
 			q.ov.ShedOldest.Add(1)
 		case Coalesce:
 			tail := &q.buf[len(q.buf)-1]
+			if err := tail.slice.Merge(x); err != nil {
+				// A window whose shape disagrees with the queued
+				// backlog cannot be folded in; shed it rather than
+				// corrupt the neighbour.
+				q.ov.ShedNewest.Add(1)
+				return false
+			}
 			q.ov.CoalescedEvents.Add(int64(x.NNZ()))
-			tail.slice.Merge(x)
-			tail.slice.Coalesce()
 			tail.coalesced++
 			q.ov.Coalesced.Add(1)
 			return false

@@ -1,0 +1,189 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the solver is healthy; admissions flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: too many consecutive slice failures; admissions are
+	// refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe slice
+	// has been admitted; its outcome decides whether the breaker closes
+	// or re-opens.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int32(s))
+	}
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value is usable:
+// open after 3 consecutive failures, probe after a 5s cooldown.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive slice failures open the
+	// breaker. Default 3.
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses admissions before
+	// letting one probe slice through. Default 5s.
+	Cooldown time.Duration
+	// Clock replaces time.Now (testing).
+	Clock func() time.Time
+}
+
+// withDefaults fills zero fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Breaker is a circuit breaker around the solver loop of a serving
+// deployment. The ingestion side calls Allow before admitting a slice
+// (the ingest pipeline's Gate hook); the solver side reports each
+// slice's outcome with OnSuccess/OnFailure. After FailureThreshold
+// consecutive failures the breaker opens: admissions are shed (and the
+// daemon's /readyz goes unready) so a poisoned or diverging stream
+// cannot grind the solver through endless rollback churn. After the
+// cooldown one probe slice is admitted; if it solves, the breaker
+// closes and traffic resumes, otherwise it re-opens for another
+// cooldown.
+//
+// All methods are safe for concurrent use: Allow runs on producer
+// (HTTP handler) goroutines while the outcome reports arrive from the
+// pipeline's consumer goroutine.
+type Breaker struct {
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       BreakerState
+	consecutive int       // consecutive failures while closed
+	openedAt    time.Time // when the breaker last opened
+	opens       int64     // lifetime open transitions
+	probes      int64     // lifetime half-open probe admissions
+}
+
+// NewBreaker builds a breaker from cfg (zero value ok).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether one slice may be admitted now. In the open
+// state it returns false until the cooldown elapses, then admits
+// exactly one probe (transitioning to half-open); while that probe is
+// in flight further admissions are refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false // one probe at a time
+	default: // BreakerOpen
+		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probes++
+		return true
+	}
+}
+
+// OnSuccess records a successfully committed slice: the failure run
+// resets, and a half-open breaker closes.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+	}
+}
+
+// OnFailure records a failed slice. A half-open breaker re-opens
+// immediately (the probe failed); a closed breaker opens once the
+// consecutive-failure run reaches the threshold.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Clock()
+		b.opens++
+	case BreakerClosed:
+		if b.consecutive >= b.cfg.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = b.cfg.Clock()
+			b.opens++
+		}
+	}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter returns how long a refused producer should wait before
+// retrying: the remaining cooldown when open (floor 1s so clients do
+// not busy-poll), 0 when admissions are flowing.
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerClosed {
+		return 0
+	}
+	rem := b.cfg.Cooldown - b.cfg.Clock().Sub(b.openedAt)
+	if rem < time.Second {
+		rem = time.Second
+	}
+	return rem
+}
+
+// BreakerSnapshot is a point-in-time copy of the breaker's counters.
+type BreakerSnapshot struct {
+	State               BreakerState
+	ConsecutiveFailures int
+	Opens               int64
+	Probes              int64
+}
+
+// Snapshot copies the counters at one instant.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:               b.state,
+		ConsecutiveFailures: b.consecutive,
+		Opens:               b.opens,
+		Probes:              b.probes,
+	}
+}

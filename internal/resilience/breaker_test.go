@@ -1,0 +1,120 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	return NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		Cooldown:         cooldown,
+		Clock:            clk.Now,
+	}), clk
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.OnFailure()
+		if !b.Allow() {
+			t.Fatalf("breaker refused admission after only %d failures", i+1)
+		}
+	}
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a slice before the cooldown")
+	}
+	if snap := b.Snapshot(); snap.Opens != 1 || snap.ConsecutiveFailures != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.OnFailure()
+	b.OnFailure()
+	b.OnSuccess() // run broken
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures must not open the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Second)
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+
+	// Before the cooldown: refused.
+	clk.Advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("admitted before cooldown elapsed")
+	}
+
+	// After the cooldown: exactly one probe.
+	clk.Advance(600 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second admission while the probe is in flight")
+	}
+
+	// Probe fails → re-open, fresh cooldown.
+	b.OnFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted without a fresh cooldown")
+	}
+	clk.Advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+
+	// Probe succeeds → closed, admissions flow.
+	b.OnSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe must close the breaker")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused admission")
+	}
+	if snap := b.Snapshot(); snap.Opens != 2 || snap.Probes != 2 {
+		t.Fatalf("snapshot = %+v, want 2 opens / 2 probes", snap)
+	}
+}
+
+func TestBreakerRetryAfter(t *testing.T) {
+	b, clk := newTestBreaker(1, 10*time.Second)
+	if b.RetryAfter() != 0 {
+		t.Fatal("closed breaker should have no retry delay")
+	}
+	b.OnFailure()
+	if got := b.RetryAfter(); got != 10*time.Second {
+		t.Fatalf("RetryAfter just after opening = %v, want 10s", got)
+	}
+	clk.Advance(9500 * time.Millisecond)
+	if got := b.RetryAfter(); got != time.Second {
+		t.Fatalf("RetryAfter near cooldown end = %v, want 1s floor", got)
+	}
+}

@@ -214,10 +214,13 @@ func TestChaosAbortPolicy(t *testing.T) {
 // stream finishes complete.
 func TestChaosStallTimeout(t *testing.T) {
 	s := chaosStream(t, 43)
+	// The timeout must sit well above the honest solve time even with
+	// race-detector instrumentation (which slows solves ~10×), or the
+	// un-stalled retry itself trips the deadline and the test flakes.
 	d := newChaosDecomposer(t, s.Dims, &resilience.Config{
 		Policy:       resilience.RetrySlice,
-		SliceTimeout: 50 * time.Millisecond,
-		FaultHook:    faultinject.Plan{StallAt: map[int]time.Duration{3: 80 * time.Millisecond}}.Hook(),
+		SliceTimeout: 300 * time.Millisecond,
+		FaultHook:    faultinject.Plan{StallAt: map[int]time.Duration{3: 500 * time.Millisecond}}.Hook(),
 	})
 	results, err := d.ProcessStreamContext(context.Background(), s.Source(), nil)
 	if err != nil {

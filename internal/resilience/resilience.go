@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 )
 
@@ -224,12 +225,33 @@ type Stats struct {
 	// DrainedSlices counts slices processed during a graceful drain
 	// (after the producer stopped, before shutdown).
 	DrainedSlices int
+	// BreakerOpens counts circuit-breaker open transitions (the solver
+	// loop hit the consecutive-failure threshold, or a half-open probe
+	// failed).
+	BreakerOpens int
+	// BreakerProbes counts half-open probe slices admitted after a
+	// cooldown.
+	BreakerProbes int
+	// BreakerSheds counts slices refused at admission while the breaker
+	// was open — the serving layer's distinct shed cause, kept separate
+	// from the queue-policy and staleness sheds in OverloadSheds'
+	// accounting.
+	BreakerSheds int
 }
 
+// renameFile is the rename step of AtomicWriteFile, indirected so the
+// durability tests can inject a rename that fails (a crash between the
+// temp write and the publish). Production code never replaces it.
+var renameFile = os.Rename
+
 // AtomicWriteFile writes a file via a temp file in the same directory,
-// fsyncs it, and renames it over path, so readers never observe a torn
-// or partial file — an interrupted write leaves the previous content
-// (or nothing) in place.
+// fsyncs it, renames it over path, and finally fsyncs the directory
+// itself, so readers never observe a torn or partial file — an
+// interrupted write leaves the previous content (or nothing) in place.
+// The directory sync matters for crash durability: rename alone only
+// updates the in-memory directory entry, and a power loss right after
+// it can roll the directory back to the old name on some filesystems,
+// losing the checkpoint the caller was just told exists.
 func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
@@ -249,5 +271,23 @@ func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmpName, path)
+	if err := renameFile(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+// Filesystems that refuse to fsync directories (some network mounts)
+// degrade to rename-only durability rather than failing the write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"spstream/internal/sptensor"
+)
+
+// parseEvent parses one feed line "i j k [value]" with 1-based
+// coordinates (the cmd/watch convention; the value defaults to 1).
+// Anything malformed — wrong field count, out-of-range or overflowing
+// coordinates, non-finite values — is an error, never a panic: this is
+// the daemon's trust boundary for arbitrary client input.
+func parseEvent(line string, dims []int) (sptensor.Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) != len(dims) && len(fields) != len(dims)+1 {
+		return sptensor.Event{}, fmt.Errorf("want %d coordinates (+ optional value), got %d fields", len(dims), len(fields))
+	}
+	ev := sptensor.Event{Coord: make([]int32, len(dims)), Value: 1}
+	for m := range dims {
+		v, err := strconv.ParseInt(fields[m], 10, 32)
+		if err != nil || v < 1 || int(v) > dims[m] {
+			return sptensor.Event{}, fmt.Errorf("bad coordinate %q for mode %d (dim %d)", fields[m], m, dims[m])
+		}
+		ev.Coord[m] = int32(v - 1)
+	}
+	if len(fields) == len(dims)+1 {
+		v, err := strconv.ParseFloat(fields[len(dims)], 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return sptensor.Event{}, fmt.Errorf("bad value %q", fields[len(dims)])
+		}
+		ev.Value = v
+	}
+	return ev, nil
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spstream/internal/core"
+	"spstream/internal/resilience"
+)
+
+// TestRunGracefulShutdown drives the full daemon lifecycle over real
+// HTTP: serve, ingest, cancel (the SIGTERM path), drain, final
+// checkpoint — then restart and verify the restored model resumes at
+// the same slice counter with identical published factors.
+func TestRunGracefulShutdown(t *testing.T) {
+	ckptDir := t.TempDir()
+	cfg := Config{
+		Dims:          []int{8, 6},
+		Options:       core.Options{Rank: 2, Seed: 1},
+		WindowEvents:  4,
+		QueueCap:      8,
+		CheckpointDir: ckptDir,
+		DrainTimeout:  10 * time.Second,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx, ln) }()
+
+	// Ingest 5 windows (the last via flush) and wait for them to solve.
+	var body strings.Builder
+	for i := 0; i < 18; i++ {
+		fmt.Fprintf(&body, "%d %d 1.0\n", i%8+1, i%6+1)
+	}
+	resp, err := http.Post(base+"/v1/ingest?flush=1", "text/plain", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Snapshot().T < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d slices solved before deadline", srv.Snapshot().T)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("Run returned %v after graceful shutdown", err)
+	}
+	if got := len(resilience.ListCheckpoints(ckptDir)); got == 0 {
+		t.Fatal("no final checkpoint written")
+	}
+	final := srv.Snapshot()
+
+	// Restart: New restores the newest checkpoint.
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := srv2.Snapshot()
+	if restored.T != final.T {
+		t.Fatalf("restored T = %d, want %d", restored.T, final.T)
+	}
+	if !restored.Equal(final) {
+		t.Fatal("restored snapshot differs from the pre-shutdown model")
+	}
+}

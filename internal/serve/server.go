@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spstream/internal/core"
+	"spstream/internal/ingest"
+	"spstream/internal/resilience"
+	"spstream/internal/sptensor"
+	"spstream/internal/trace"
+)
+
+// Config parameterizes a Server. Dims and Options are required; every
+// zero field gets a production-safe default.
+type Config struct {
+	// Dims are the slice mode lengths the daemon decomposes.
+	Dims []int
+	// Options configures the decomposer. Options.Resilience should be
+	// set for a daemon that must survive bad slices; WithServerDefaults
+	// installs a SkipSlice policy when it is nil.
+	Options core.Options
+
+	// WindowEvents is the number of ingested events accumulated into
+	// one slice. Default 1000.
+	WindowEvents int
+
+	// QueueCap, Policy, MaxLag and DrainTimeout configure the bounded
+	// ingest pipeline. The default policy is DropNewest: the serving
+	// layer translates the shed into a 429 so the producer — not the
+	// queue — holds the backlog.
+	QueueCap     int
+	Policy       ingest.ShedPolicy
+	MaxLag       time.Duration
+	DrainTimeout time.Duration
+
+	// CheckpointDir, when set, arms crash-safe checkpointing: restore
+	// the newest checkpoint at startup, write every CheckpointEvery
+	// committed slices (default 10, keeping CheckpointKeep files,
+	// default 3), and write a final checkpoint during graceful
+	// shutdown.
+	CheckpointDir   string
+	CheckpointEvery int
+	CheckpointKeep  int
+
+	// BreakerFailures consecutive solver failures open the circuit
+	// breaker (default 3); BreakerCooldown is the open→half-open delay
+	// (default 5s).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+
+	// BodyLimit caps request body bytes (default 8 MiB);
+	// RequestTimeout bounds every handler (default 30s).
+	BodyLimit      int64
+	RequestTimeout time.Duration
+
+	// Version is reported in /v1/stats (build-stamped by cmd/spstreamd).
+	Version string
+
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.WindowEvents <= 0 {
+		c.WindowEvents = 1000
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 8
+	}
+	if c.Policy == ingest.Block {
+		// Blocking admission would turn queue pressure into hung HTTP
+		// requests; shedding + 429 is the serving-layer contract.
+		c.Policy = ingest.DropNewest
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 10
+	}
+	if c.CheckpointKeep <= 0 {
+		c.CheckpointKeep = 3
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BodyLimit <= 0 {
+		c.BodyLimit = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Options.Resilience == nil {
+		// A serving daemon must outlive bad slices: retry once from the
+		// snapshot, then drop the slice and keep the stream alive.
+		c.Options.Resilience = &resilience.Config{Policy: resilience.SkipSlice}
+	}
+	return c
+}
+
+// statsView is the consumer-published copy of the state that is unsafe
+// to read concurrently from handlers (decomposer counters). It is
+// republished after every slice outcome.
+type statsView struct {
+	T          int
+	Fit        float64
+	Resilience resilience.Stats
+}
+
+// Server is the daemon: decomposer + ingest pipeline + breaker + HTTP
+// API. Create with New, serve with Run.
+type Server struct {
+	cfg     Config
+	dec     *core.Decomposer
+	pipe    *ingest.Pipeline
+	breaker *resilience.Breaker
+	ckpt    *resilience.Manager
+
+	// snap is the published model; handlers only ever load it.
+	snap atomic.Pointer[FactorSnapshot]
+	// stats is the published copy of the consumer-side counters.
+	stats atomic.Pointer[statsView]
+
+	// accMu serializes the window accumulator and admission (POST
+	// handlers are concurrent; the accumulator is not).
+	accMu    sync.Mutex
+	acc      *sptensor.WindowAccumulator
+	rejected atomic.Int64
+
+	draining atomic.Bool
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+}
+
+// New builds the server: decomposer (restored from the newest
+// checkpoint when CheckpointDir has one), pipeline, breaker, and
+// routes. The pipeline is not started until Run.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+
+	var err error
+	if cfg.CheckpointDir != "" {
+		s.ckpt, err = resilience.NewManager(cfg.CheckpointDir, cfg.CheckpointEvery, cfg.CheckpointKeep)
+		if err != nil {
+			return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+		}
+	}
+	s.dec, err = core.NewDecomposer(cfg.Dims, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	if s.ckpt != nil {
+		path, err := s.ckpt.RestoreLatest(s.dec.RestoreState)
+		switch {
+		case err == nil:
+			cfg.Logf("restored checkpoint %s (t=%d)", path, s.dec.T())
+		case errors.Is(err, resilience.ErrNoCheckpoint):
+			// Fresh start.
+		default:
+			return nil, fmt.Errorf("serve: restore: %w", err)
+		}
+	}
+
+	s.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: cfg.BreakerFailures,
+		Cooldown:         cfg.BreakerCooldown,
+	})
+	s.acc = sptensor.NewWindowAccumulator(cfg.Dims, cfg.WindowEvents)
+
+	// Snapshot publication rides the commit hook: it fires only after a
+	// slice commits, on the consumer goroutine, with the decomposer
+	// quiescent — the only moment a copy is both safe and guaranteed
+	// never to be retracted by a later rollback.
+	s.dec.SetCommitHook(func(res core.SliceResult) {
+		s.snap.Store(TakeSnapshot(s.dec, res.Fit))
+	})
+
+	s.pipe, err = ingest.New(s.dec, ingest.Config{
+		QueueCap:     cfg.QueueCap,
+		Policy:       cfg.Policy,
+		MaxLag:       cfg.MaxLag,
+		DrainTimeout: cfg.DrainTimeout,
+		Gate:         s.breaker.Allow,
+		OnResult:     s.onResult,
+		OnError:      s.onError,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The pre-stream snapshot: reads before the first committed slice
+	// see the (restored or initial) state, never a 404 race.
+	s.snap.Store(TakeSnapshot(s.dec, math.NaN()))
+	s.publishStats(math.NaN())
+
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// onResult runs on the pipeline's consumer goroutine after every
+// committed slice: breaker success, periodic checkpoint, stats.
+func (s *Server) onResult(res core.SliceResult) {
+	s.breaker.OnSuccess()
+	if s.ckpt != nil {
+		if _, err := s.ckpt.MaybeWrite(s.dec.T(), s.dec); err != nil {
+			s.cfg.Logf("checkpoint write failed: %v", err)
+		}
+	}
+	s.publishStats(res.Fit)
+}
+
+// onError runs on the consumer goroutine for absorbed per-slice
+// errors. Staleness (the max-lag deadline) is overload, not solver
+// sickness — it must not open the breaker, or a traffic spike would be
+// misdiagnosed as a broken solver and turn 429s into 503s.
+func (s *Server) onError(err error) {
+	if !errors.Is(err, context.DeadlineExceeded) {
+		s.breaker.OnFailure()
+		if st := s.breaker.Snapshot(); st.State == resilience.BreakerOpen {
+			s.cfg.Logf("circuit breaker open after %d consecutive failures: %v", st.ConsecutiveFailures, err)
+		}
+	}
+	s.publishStats(math.NaN())
+}
+
+// publishStats republishes the consumer-side counters (called only
+// from the consumer goroutine or while the pipeline is quiescent).
+func (s *Server) publishStats(fit float64) {
+	s.stats.Store(&statsView{T: s.dec.T(), Fit: fit, Resilience: s.dec.ResilienceStats()})
+}
+
+// Snapshot returns the current published model (never nil after New).
+func (s *Server) Snapshot() *FactorSnapshot { return s.snap.Load() }
+
+// Breaker exposes the circuit breaker (tests, stats).
+func (s *Server) Breaker() *resilience.Breaker { return s.breaker }
+
+// Overload snapshots the pipeline's overload counters.
+func (s *Server) Overload() trace.OverloadSnapshot { return s.pipe.Stats() }
+
+// Handler returns the fully wrapped HTTP handler: panic containment
+// innermost, then the request deadline. The timeout wrapper replies
+// 503 to requests that exceed RequestTimeout, so a wedged handler
+// cannot accumulate goroutines without bound.
+func (s *Server) Handler() http.Handler {
+	var h http.Handler = s.mux
+	h = s.recoverMiddleware(h)
+	return http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out\n")
+}
+
+// Run serves HTTP on ln until ctx is cancelled, then performs the
+// graceful shutdown: stop admissions, flush the partial window, drain
+// the backlog (bounded by DrainTimeout), fold the breaker counters,
+// write the final checkpoint, and finish in-flight reads. It returns
+// the fatal serve error, or nil after a clean drain.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	s.pipe.Start(context.Background())
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	s.cfg.Logf("shutdown: draining")
+	s.draining.Store(true) // readyz goes 503, ingest refuses
+
+	// Flush the partial window into the queue before draining, so a
+	// final sub-window of events is solved, not lost.
+	s.accMu.Lock()
+	if slice := s.acc.Flush(); slice != nil {
+		_ = s.pipe.Offer(slice)
+	}
+	s.accMu.Unlock()
+
+	snap := s.pipe.Drain(context.Background())
+	// The pipeline is quiescent now: fold the breaker's counters into
+	// the decomposer's recovery stats and republish.
+	bs := s.breaker.Snapshot()
+	s.dec.NoteBreaker(int(bs.Opens), int(bs.Probes), int(snap.ShedBreaker))
+	s.publishStats(math.NaN())
+
+	if s.ckpt != nil && s.dec.T() > 0 {
+		if path, err := s.ckpt.Write(s.dec.T(), s.dec); err != nil {
+			s.cfg.Logf("final checkpoint failed: %v", err)
+		} else {
+			s.cfg.Logf("final checkpoint: %s", path)
+		}
+	}
+
+	// In-flight reads finish; new connections are refused.
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	<-serveErr // Serve has returned ErrServerClosed
+	s.cfg.Logf("shutdown: complete (t=%d, %s)", s.dec.T(), snap.String())
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package serve is the fault-tolerant serving layer: an HTTP daemon
+// (cmd/spstreamd) around the live-ingestion pipeline and the resilient
+// decomposer, exposing the current model for reads while the stream is
+// being solved.
+//
+// Its three load-bearing properties:
+//
+//   - Snapshot isolation. Readers never see the solver's in-progress or
+//     rolled-back state: after every *committed* slice the decomposer's
+//     commit hook deep-copies the factors into an immutable
+//     FactorSnapshot published by atomic pointer swap. A slice that
+//     fails, retries, or rolls back publishes nothing, so the visible
+//     model always corresponds to a slice boundary that will never be
+//     retracted.
+//
+//   - Backpressure-aware admission. The ingest queue is bounded; when
+//     it sheds, the API says so (429 + Retry-After) instead of hanging
+//     or lying. Request bodies are size-capped and every handler runs
+//     under a deadline with panic containment.
+//
+//   - A circuit breaker around the solver loop. Consecutive slice
+//     failures open it: ingest is refused at the front door (503,
+//     counted separately from overload sheds), readiness goes false,
+//     and after a cooldown a single probe slice decides whether to
+//     close it again.
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"spstream/internal/core"
+	"spstream/internal/dense"
+)
+
+// FactorSnapshot is an immutable copy of the decomposition state at a
+// committed slice boundary. All storage is deep-copied at publication
+// and never mutated afterwards, so any number of readers may hold one
+// while the solver advances or rolls back.
+type FactorSnapshot struct {
+	// T is the number of slices committed into this snapshot.
+	T int
+	// Dims are the slice mode lengths.
+	Dims []int
+	// Rank is the decomposition rank K.
+	Rank int
+	// Factors are deep copies of the non-temporal factor matrices.
+	Factors []*dense.Matrix
+	// S is the temporal row sₜ of the newest committed slice.
+	S []float64
+	// Fit is the newest committed slice's fit (NaN without TrackFit).
+	Fit float64
+}
+
+// TakeSnapshot deep-copies the decomposer's current factor state. It
+// must be called while the decomposer is quiescent — in practice from
+// its commit hook or the pipeline's consumer callbacks.
+func TakeSnapshot(d *core.Decomposer, fit float64) *FactorSnapshot {
+	dims := d.Dims()
+	s := &FactorSnapshot{
+		T:       d.T(),
+		Dims:    append([]int(nil), dims...),
+		Rank:    d.Rank(),
+		Factors: make([]*dense.Matrix, len(dims)),
+		S:       append([]float64(nil), d.LastS()...),
+		Fit:     fit,
+	}
+	for m := range dims {
+		s.Factors[m] = d.Factor(m).Clone()
+	}
+	return s
+}
+
+// ReconstructAt evaluates the snapshot's model X̂ₜ = [[A…; sₜ]] at one
+// coordinate of the newest slice, with bounds checking (the serving
+// layer's trust boundary for client-supplied coordinates).
+func (s *FactorSnapshot) ReconstructAt(coord []int32) (float64, error) {
+	if len(coord) != len(s.Dims) {
+		return 0, fmt.Errorf("serve: want %d coordinates, got %d", len(s.Dims), len(coord))
+	}
+	for m, c := range coord {
+		if c < 0 || int(c) >= s.Dims[m] {
+			return 0, fmt.Errorf("serve: coordinate %d out of range for mode %d (dim %d)", c, m, s.Dims[m])
+		}
+	}
+	sum := 0.0
+	for k := range s.S {
+		p := s.S[k]
+		for m := range s.Factors {
+			p *= s.Factors[m].At(int(coord[m]), k)
+		}
+		sum += p
+	}
+	return sum, nil
+}
+
+// Equal reports bit-for-bit equality of two snapshots' numerical state
+// (factors, temporal row, and slice counter). NaN fits compare equal to
+// NaN. Used by the isolation tests to prove a snapshot taken during a
+// rollback is identical to the pre-slice snapshot.
+func (s *FactorSnapshot) Equal(o *FactorSnapshot) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.T != o.T || s.Rank != o.Rank || len(s.Dims) != len(o.Dims) ||
+		len(s.Factors) != len(o.Factors) || len(s.S) != len(o.S) {
+		return false
+	}
+	for m := range s.Dims {
+		if s.Dims[m] != o.Dims[m] {
+			return false
+		}
+	}
+	for k := range s.S {
+		if math.Float64bits(s.S[k]) != math.Float64bits(o.S[k]) {
+			return false
+		}
+	}
+	for m := range s.Factors {
+		a, b := s.Factors[m], o.Factors[m]
+		if a.Rows != b.Rows || a.Cols != b.Cols {
+			return false
+		}
+		for i := 0; i < a.Rows; i++ {
+			ra, rb := a.Row(i), b.Row(i)
+			for j := range ra {
+				if math.Float64bits(ra[j]) != math.Float64bits(rb[j]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

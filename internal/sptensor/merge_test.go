@@ -1,0 +1,170 @@
+package sptensor
+
+import (
+	"strings"
+	"testing"
+)
+
+// mk builds a tensor from parallel coordinate/value rows.
+func mk(dims []int, coords [][]int32, vals []float64) *Tensor {
+	t := New(dims...)
+	for e, c := range coords {
+		t.Append(c, vals[e])
+	}
+	return t
+}
+
+// asMap flattens a tensor into coordinate-string → value for
+// order-independent comparison.
+func asMap(t *Tensor) map[string]float64 {
+	out := make(map[string]float64, t.NNZ())
+	for e := 0; e < t.NNZ(); e++ {
+		var sb strings.Builder
+		for m := range t.Inds {
+			if m > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(string(rune('0' + t.Inds[m][e])))
+		}
+		out[sb.String()] += t.Vals[e]
+	}
+	return out
+}
+
+func TestMergeTable(t *testing.T) {
+	dims := []int{3, 4}
+	cases := []struct {
+		name    string
+		dst     *Tensor
+		src     *Tensor
+		wantErr bool
+		want    map[string]float64
+		wantNNZ int
+	}{
+		{
+			name:    "disjoint coordinates concatenate",
+			dst:     mk(dims, [][]int32{{0, 0}, {1, 1}}, []float64{1, 2}),
+			src:     mk(dims, [][]int32{{2, 2}}, []float64{3}),
+			want:    map[string]float64{"0,0": 1, "1,1": 2, "2,2": 3},
+			wantNNZ: 3,
+		},
+		{
+			name:    "duplicate coordinates across windows coalesce",
+			dst:     mk(dims, [][]int32{{0, 0}, {1, 1}}, []float64{1, 2}),
+			src:     mk(dims, [][]int32{{1, 1}, {0, 0}}, []float64{10, 100}),
+			want:    map[string]float64{"0,0": 101, "1,1": 12},
+			wantNNZ: 2,
+		},
+		{
+			name:    "duplicates within each window coalesce too",
+			dst:     mk(dims, [][]int32{{0, 0}, {0, 0}}, []float64{1, 1}),
+			src:     mk(dims, [][]int32{{0, 0}, {0, 0}}, []float64{2, 2}),
+			want:    map[string]float64{"0,0": 6},
+			wantNNZ: 1,
+		},
+		{
+			name:    "cancelling values drop the nonzero",
+			dst:     mk(dims, [][]int32{{0, 0}, {1, 2}}, []float64{5, 7}),
+			src:     mk(dims, [][]int32{{0, 0}}, []float64{-5}),
+			want:    map[string]float64{"1,2": 7},
+			wantNNZ: 1,
+		},
+		{
+			name:    "merge from empty is a no-op on content",
+			dst:     mk(dims, [][]int32{{0, 1}}, []float64{4}),
+			src:     New(dims...),
+			want:    map[string]float64{"0,1": 4},
+			wantNNZ: 1,
+		},
+		{
+			name:    "merge into empty copies the source",
+			dst:     New(dims...),
+			src:     mk(dims, [][]int32{{2, 3}, {2, 3}}, []float64{1, 2}),
+			want:    map[string]float64{"2,3": 3},
+			wantNNZ: 1,
+		},
+		{
+			name:    "empty into empty stays empty",
+			dst:     New(dims...),
+			src:     New(dims...),
+			want:    map[string]float64{},
+			wantNNZ: 0,
+		},
+		{
+			name:    "mode count mismatch rejected",
+			dst:     mk(dims, [][]int32{{0, 0}}, []float64{1}),
+			src:     New(3, 4, 5),
+			wantErr: true,
+		},
+		{
+			name:    "mode length mismatch rejected",
+			dst:     mk(dims, [][]int32{{0, 0}}, []float64{1}),
+			src:     New(3, 5),
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := asMap(tc.dst)
+			err := tc.dst.Merge(tc.src)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error, got nil")
+				}
+				// A rejected merge must not mutate the destination.
+				after := asMap(tc.dst)
+				if len(after) != len(before) {
+					t.Fatalf("rejected merge mutated dst: %v -> %v", before, after)
+				}
+				for k, v := range before {
+					if after[k] != v {
+						t.Fatalf("rejected merge mutated dst at %s: %g -> %g", k, v, after[k])
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tc.dst.NNZ(); got != tc.wantNNZ {
+				t.Fatalf("nnz = %d, want %d", got, tc.wantNNZ)
+			}
+			got := asMap(tc.dst)
+			if len(got) != len(tc.want) {
+				t.Fatalf("content = %v, want %v", got, tc.want)
+			}
+			for k, v := range tc.want {
+				if got[k] != v {
+					t.Fatalf("at %s: got %g, want %g", k, got[k], v)
+				}
+			}
+			if err := tc.dst.Validate(); err != nil {
+				t.Fatalf("merged tensor invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestMergeNoDuplicateNonzeros pins the postcondition the Coalesce
+// shed policy depends on: after Merge, every coordinate is stored at
+// most once, so downstream Norm2 (which assumes unique coordinates) is
+// correct.
+func TestMergeNoDuplicateNonzeros(t *testing.T) {
+	a := mk([]int{2, 2}, [][]int32{{0, 0}, {1, 1}}, []float64{1, 2})
+	b := mk([]int{2, 2}, [][]int32{{0, 0}, {1, 1}}, []float64{3, 4})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int32]bool)
+	for e := 0; e < a.NNZ(); e++ {
+		key := [2]int32{a.Inds[0][e], a.Inds[1][e]}
+		if seen[key] {
+			t.Fatalf("coordinate %v stored twice after Merge", key)
+		}
+		seen[key] = true
+	}
+	// (0,0)=4, (1,1)=6 → Norm2 = 16+36 = 52.
+	if a.Norm2() != 52 {
+		t.Fatalf("Norm2 = %g, want 52", a.Norm2())
+	}
+}

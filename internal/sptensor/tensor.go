@@ -95,19 +95,36 @@ func (t *Tensor) Clone() *Tensor {
 	return out
 }
 
-// Merge appends every nonzero of other (same mode lengths required)
-// without aggregating duplicates; call Coalesce afterwards to combine
-// coordinates the two tensors share. The ingestion layer uses it to
+// Merge folds every nonzero of other into t, coalescing duplicate
+// coordinates — both across the two tensors and within each — so the
+// result stores each coordinate once with the summed value (exact
+// zeros produced by cancellation are dropped). Merging to or from an
+// empty tensor works: the result is the other operand, coalesced. The
+// tensors must agree on mode count and every mode length; a mismatch
+// is rejected without mutating t. The ingestion layer uses Merge to
 // fold a pending window into its neighbour under the Coalesce shed
-// policy.
-func (t *Tensor) Merge(other *Tensor) {
+// policy, where duplicated nonzeros would silently double-count
+// events.
+func (t *Tensor) Merge(other *Tensor) error {
 	if len(other.Dims) != len(t.Dims) {
-		panic(fmt.Sprintf("sptensor: Merge of %d-mode tensor into %d-mode tensor", len(other.Dims), len(t.Dims)))
+		return fmt.Errorf("sptensor: Merge of %d-mode tensor into %d-mode tensor", len(other.Dims), len(t.Dims))
+	}
+	for m := range t.Dims {
+		if t.Dims[m] != other.Dims[m] {
+			return fmt.Errorf("sptensor: Merge mode %d length mismatch (%d ≠ %d)", m, other.Dims[m], t.Dims[m])
+		}
+	}
+	if other.NNZ() == 0 {
+		// Still canonicalize: the contract is unique coordinates out.
+		t.Coalesce()
+		return nil
 	}
 	for m := range t.Inds {
 		t.Inds[m] = append(t.Inds[m], other.Inds[m]...)
 	}
 	t.Vals = append(t.Vals, other.Vals...)
+	t.Coalesce()
+	return nil
 }
 
 // Norm2 returns the squared Frobenius norm Σ val², assuming coordinates

@@ -30,6 +30,10 @@ type Overload struct {
 	// ShedDrain counts slices still queued when the drain deadline
 	// expired (or offered after the drain began).
 	ShedDrain atomic.Int64
+	// ShedBreaker counts slices refused at admission by the serving
+	// layer's circuit breaker (the pipeline's Gate hook) while the
+	// solver loop was unhealthy.
+	ShedBreaker atomic.Int64
 	// Coalesced counts slices merged into a pending slice under the
 	// Coalesce policy; CoalescedEvents counts the nonzeros carried over
 	// by those merges (aggregated, not lost).
@@ -47,7 +51,8 @@ type Overload struct {
 
 // Shed returns the total slices shed across every cause.
 func (o *Overload) Shed() int64 {
-	return o.ShedNewest.Load() + o.ShedOldest.Load() + o.ShedStale.Load() + o.ShedDrain.Load()
+	return o.ShedNewest.Load() + o.ShedOldest.Load() + o.ShedStale.Load() +
+		o.ShedDrain.Load() + o.ShedBreaker.Load()
 }
 
 // RaiseHighWater lifts QueueHighWater to depth if it is a new maximum.
@@ -65,7 +70,8 @@ func (o *Overload) RaiseHighWater(depth int64) {
 type OverloadSnapshot struct {
 	Produced, Processed, Failed                int64
 	ShedNewest, ShedOldest, ShedStale          int64
-	ShedDrain, Coalesced, CoalescedEvents      int64
+	ShedDrain, ShedBreaker                     int64
+	Coalesced, CoalescedEvents                 int64
 	DegradeSteps, RestoreSteps, QueueHighWater int64
 	LagEWMA                                    time.Duration
 }
@@ -80,6 +86,7 @@ func (o *Overload) Snapshot() OverloadSnapshot {
 		ShedOldest:      o.ShedOldest.Load(),
 		ShedStale:       o.ShedStale.Load(),
 		ShedDrain:       o.ShedDrain.Load(),
+		ShedBreaker:     o.ShedBreaker.Load(),
 		Coalesced:       o.Coalesced.Load(),
 		CoalescedEvents: o.CoalescedEvents.Load(),
 		DegradeSteps:    o.DegradeSteps.Load(),
@@ -91,12 +98,12 @@ func (o *Overload) Snapshot() OverloadSnapshot {
 
 // Shed returns the snapshot's total shed count.
 func (s OverloadSnapshot) Shed() int64 {
-	return s.ShedNewest + s.ShedOldest + s.ShedStale + s.ShedDrain
+	return s.ShedNewest + s.ShedOldest + s.ShedStale + s.ShedDrain + s.ShedBreaker
 }
 
 // String renders the snapshot as one stats line.
 func (s OverloadSnapshot) String() string {
-	return fmt.Sprintf("produced=%d processed=%d failed=%d shed=%d (newest=%d oldest=%d stale=%d drain=%d) coalesced=%d (+%d events) degrade=%d restore=%d highwater=%d lag-ewma=%v",
-		s.Produced, s.Processed, s.Failed, s.Shed(), s.ShedNewest, s.ShedOldest, s.ShedStale, s.ShedDrain,
+	return fmt.Sprintf("produced=%d processed=%d failed=%d shed=%d (newest=%d oldest=%d stale=%d drain=%d breaker=%d) coalesced=%d (+%d events) degrade=%d restore=%d highwater=%d lag-ewma=%v",
+		s.Produced, s.Processed, s.Failed, s.Shed(), s.ShedNewest, s.ShedOldest, s.ShedStale, s.ShedDrain, s.ShedBreaker,
 		s.Coalesced, s.CoalescedEvents, s.DegradeSteps, s.RestoreSteps, s.QueueHighWater, s.LagEWMA.Round(time.Microsecond))
 }

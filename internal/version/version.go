@@ -1,0 +1,33 @@
+// Package version carries the build identification stamped into every
+// command binary at link time:
+//
+//	go build -ldflags "-X spstream/internal/version.Version=v1.2.3 \
+//	    -X spstream/internal/version.Commit=abc1234 \
+//	    -X spstream/internal/version.BuildDate=2026-08-06T12:00:00Z"
+//
+// The Makefile's build targets pass these automatically (git describe /
+// rev-parse / date -u). Unstamped builds report "dev". The daemon
+// exposes the same triple in /v1/stats so a fleet can be audited for
+// stragglers after a rollout.
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Set at link time via -ldflags -X; the defaults describe a plain
+// `go build` with no stamping.
+var (
+	// Version is the semantic or describe-style release tag.
+	Version = "dev"
+	// Commit is the short VCS revision.
+	Commit = "unknown"
+	// BuildDate is the UTC build timestamp (RFC 3339).
+	BuildDate = "unknown"
+)
+
+// String renders the standard one-line version banner.
+func String() string {
+	return fmt.Sprintf("%s (commit %s, built %s, %s)", Version, Commit, BuildDate, runtime.Version())
+}
