@@ -10,7 +10,7 @@ LDFLAGS   = -ldflags "-X spstream/internal/version.Version=$(VERSION) \
 	-X spstream/internal/version.Commit=$(COMMIT) \
 	-X spstream/internal/version.BuildDate=$(BUILDDATE)"
 
-.PHONY: all build test race cover bench lint repro repro-measure fuzz e2e clean
+.PHONY: all build test race cover bench bench-compare bench-go threshold lint repro repro-measure fuzz e2e clean
 
 all: build test
 
@@ -27,8 +27,25 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Reproducible benchmark pipeline: MTTKRP kernel grid (lock / plan /
+# CSF, ns/op + B/op + allocs/op + effective GFLOP/s, worker sweep up to
+# GOMAXPROCS) and end-to-end slices under each kernel policy, written
+# to BENCH_PR5.json. The committed copy of that file is the regression
+# baseline; `make bench-compare` diffs a fresh run against it
+# (advisory: warns past 10%, never fails).
 bench:
+	$(GO) run ./cmd/paperbench -exp bench -benchjson BENCH_PR5.json
+
+bench-compare:
+	$(GO) run ./cmd/paperbench -exp bench -benchjson bench_fresh.json -compare BENCH_PR5.json
+
+# Raw go test micro-benchmarks across all packages.
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
+
+# Short-mode threshold calibration sweep (mttkrp.DefaultShortModeThreshold).
+threshold:
+	$(GO) run ./cmd/paperbench -exp threshold
 
 # Static analysis beyond vet. The extra tools are optional locally (CI
 # installs them); absent tools are skipped, not failed.

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"spstream/internal/core"
+	"spstream/internal/csf"
+	"spstream/internal/dense"
+	"spstream/internal/mttkrp"
+	"spstream/internal/parallel"
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+)
+
+// The bench experiment is the reproducible benchmark pipeline behind
+// `make bench`: it times the three factor-mode MTTKRP kernels (lock,
+// coordinate plan, tiled CSF) and full end-to-end slices under each
+// kernel policy on fixed synthetic configs, and emits the results as
+// machine-readable JSON (BENCH_PR5.json). The committed copy of that
+// file is the regression baseline CI compares fresh runs against
+// (advisory: >10% slowdowns warn, they do not fail the build — shared
+// runners are too noisy for a hard gate).
+
+// benchRecord is one benchmark measurement. Name is the stable identity
+// compare runs match on.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`   // "kernel" or "slice"
+	Config      string  `json:"config"` // synthetic config name
+	Kernel      string  `json:"kernel"` // lock|plan|csf, or the slice policy auto|plan|csf
+	Mode        int     `json:"mode"`   // target mode; -1 for slice benches
+	Rank        int     `json:"rank"`
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// GFLOPS is the effective rate at nnz·K·N flops per MTTKRP (one
+	// K-wide multiply chain over the N−1 source modes plus the
+	// accumulate, per nonzero). Zero for slice benches.
+	GFLOPS float64 `json:"gflops,omitempty"`
+}
+
+// benchFile is the JSON document. CSFBestSpeedup is the best
+// CSF-over-plan kernel ratio observed anywhere in the grid — the
+// headline number the PR's acceptance criterion (≥1.3× on at least one
+// config) reads directly.
+type benchFile struct {
+	GoVersion      string        `json:"go_version"`
+	GOMAXPROCS     int           `json:"gomaxprocs"`
+	CSFBestSpeedup float64       `json:"csf_best_speedup"`
+	CSFBestAt      string        `json:"csf_best_at"`
+	Records        []benchRecord `json:"records"`
+}
+
+// benchConfig is one synthetic workload of the grid. The three configs
+// pin the regimes the kernel selector discriminates: a short leading
+// mode (heavy output-row sharing, the plan's worst case), a uniform
+// cube (both kernels comfortable), and a duplicate-heavy slice whose
+// coalesced fiber tree is much smaller than its nonzero count (CSF's
+// best case).
+type benchConfig struct {
+	name  string
+	dists []synth.IndexDist
+	nnz   int
+}
+
+func benchConfigs() []benchConfig {
+	return []benchConfig{
+		{"shortmode", []synth.IndexDist{synth.Uniform{N: 32}, synth.Uniform{N: 3000}, synth.Uniform{N: 3000}}, 200000},
+		{"cube", []synth.IndexDist{synth.Uniform{N: 800}, synth.Uniform{N: 800}, synth.Uniform{N: 800}}, 200000},
+		{"dupheavy", []synth.IndexDist{synth.NewZipf(24, 0.5), synth.NewZipf(1100, 0.9), synth.NewZipf(1700, 0.9)}, 300000},
+	}
+}
+
+var benchRanks = []int{16, 32}
+
+// benchSlices generates the config's stream (a few slices, fixed seed).
+func benchSlices(cfg benchConfig, t int) ([]*sptensor.Tensor, []int, error) {
+	sc := synth.Config{Name: cfg.name, Dists: cfg.dists, T: t, NNZPerSlice: cfg.nnz, Seed: 17}
+	s, err := synth.Generate(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Slices, s.Dims, nil
+}
+
+// bench runs the kernel + end-to-end grid and writes the JSON.
+func (h *harness) bench() error {
+	h.header("Bench — MTTKRP kernel and end-to-end slice pipeline (BENCH_PR5.json)",
+		"reproducible regression baseline; kernel grid backs the cost-model selector")
+	doc := benchFile{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	workers := h.measureWorkers()
+
+	// --- kernel grid ---------------------------------------------------
+	fmt.Fprintf(h.out, "\nkernel grid (%d trials each):\n", 1)
+	fmt.Fprintf(h.out, "%-10s %5s %5s %8s %-6s %14s %12s %10s %9s\n",
+		"config", "mode", "rank", "workers", "kernel", "ns/op", "B/op", "allocs/op", "GFLOP/s")
+	for _, cfg := range benchConfigs() {
+		slices, dims, err := benchSlices(cfg, 2)
+		if err != nil {
+			return err
+		}
+		x := slices[len(slices)-1]
+		n := len(dims)
+		for _, k := range benchRanks {
+			factors := randomFactors(dims, k, 23)
+			for _, w := range workers {
+				pool := parallel.NewPool(w)
+				for mode := 0; mode < n; mode++ {
+					out := dense.NewMatrix(dims[mode], k)
+					flops := float64(x.NNZ()) * float64(k) * float64(n)
+					for _, kernel := range []string{"lock", "plan", "csf"} {
+						r := benchKernelOnce(kernel, x, factors, out, mode, w, pool)
+						rec := benchRecord{
+							Name: fmt.Sprintf("kernel/%s/mode%d/k%d/w%d/%s", cfg.name, mode, k, w, kernel),
+							Kind: "kernel", Config: cfg.name, Kernel: kernel,
+							Mode: mode, Rank: k, Workers: w,
+							NsPerOp:     float64(r.NsPerOp()),
+							BytesPerOp:  r.AllocedBytesPerOp(),
+							AllocsPerOp: r.AllocsPerOp(),
+							GFLOPS:      flops / float64(r.NsPerOp()),
+						}
+						doc.Records = append(doc.Records, rec)
+						fmt.Fprintf(h.out, "%-10s %5d %5d %8d %-6s %14.0f %12d %10d %9.3f\n",
+							cfg.name, mode, k, w, kernel, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, rec.GFLOPS)
+					}
+					// Track the best CSF-over-plan ratio for the summary.
+					nr := len(doc.Records)
+					plan, csfRec := doc.Records[nr-2], doc.Records[nr-1]
+					if ratio := plan.NsPerOp / csfRec.NsPerOp; ratio > doc.CSFBestSpeedup {
+						doc.CSFBestSpeedup = ratio
+						doc.CSFBestAt = csfRec.Name
+					}
+				}
+				pool.Close()
+			}
+		}
+	}
+	fmt.Fprintf(h.out, "\nbest CSF speedup over plan: %.2fx at %s\n", doc.CSFBestSpeedup, doc.CSFBestAt)
+
+	// --- end-to-end slices ---------------------------------------------
+	// Optimized CP-stream over the same configs under each forced policy
+	// plus Auto; the selector check is that Auto never loses to the best
+	// forced kernel by more than measurement slack.
+	fmt.Fprintf(h.out, "\nend-to-end slices (optimized CP-stream, %d inner iters):\n", 4)
+	fmt.Fprintf(h.out, "%-10s %5s %8s %-6s %14s\n", "config", "rank", "workers", "policy", "ns/slice")
+	policies := []struct {
+		name string
+		k    core.MTTKRPKernel
+	}{{"auto", core.KernelAuto}, {"plan", core.KernelPlan}, {"csf", core.KernelCSF}}
+	w := workers[len(workers)-1]
+	for _, cfg := range benchConfigs() {
+		slices, dims, err := benchSlices(cfg, 3)
+		if err != nil {
+			return err
+		}
+		for _, k := range benchRanks {
+			perPolicy := make(map[string]float64, len(policies))
+			for _, pol := range policies {
+				opt := core.Options{Rank: k, Algorithm: core.Optimized, Workers: w,
+					Seed: 9, MaxIters: 4, Tol: 0, MTTKRPKernel: pol.k}
+				ns, err := benchSliceRun(dims, slices, opt)
+				if err != nil {
+					return err
+				}
+				perPolicy[pol.name] = ns
+				rec := benchRecord{
+					Name: fmt.Sprintf("slice/%s/k%d/w%d/%s", cfg.name, k, w, pol.name),
+					Kind: "slice", Config: cfg.name, Kernel: pol.name,
+					Mode: -1, Rank: k, Workers: w, NsPerOp: ns,
+				}
+				doc.Records = append(doc.Records, rec)
+				fmt.Fprintf(h.out, "%-10s %5d %8d %-6s %14.0f\n", cfg.name, k, w, pol.name, ns)
+			}
+			best := perPolicy["plan"]
+			if perPolicy["csf"] < best {
+				best = perPolicy["csf"]
+			}
+			if perPolicy["auto"] > best*1.10 {
+				fmt.Fprintf(h.out, "WARN: %s k=%d: auto policy (%.0f ns) regresses %.0f%% vs best forced kernel (%.0f ns)\n",
+					cfg.name, k, perPolicy["auto"], 100*(perPolicy["auto"]/best-1), best)
+			}
+		}
+	}
+
+	// --- emit + compare ------------------------------------------------
+	if h.benchJSON != "" {
+		data, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(h.benchJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(h.out, "\nwrote %s (%d records)\n", h.benchJSON, len(doc.Records))
+	}
+	if h.benchCompare != "" {
+		if err := compareBench(h, &doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchKernelOnce times one (kernel, mode) cell. Per-slice compile work
+// (plan build, CSF tree build) happens outside the timed loop — the
+// kernel grid measures steady-state inner-iteration cost; build costs
+// show up in the end-to-end slice benches.
+func benchKernelOnce(kernel string, x *sptensor.Tensor, factors []*dense.Matrix, out *dense.Matrix, mode, w int, pool *parallel.Pool) testing.BenchmarkResult {
+	switch kernel {
+	case "lock":
+		c := mttkrp.NewComputer(w)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Lock(out, x, factors, mode)
+			}
+		})
+	case "plan":
+		c := mttkrp.NewComputer(w)
+		plan := c.NewPlan(x)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.PlanMTTKRP(out, plan, factors, mode)
+			}
+		})
+	default: // csf
+		eng := csf.NewEngineWithPool(w, pool)
+		eng.Begin(x)
+		eng.Build(mode)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.MTTKRP(out, factors, mode)
+			}
+		})
+	}
+}
+
+// benchSliceRun processes the stream and returns ns per slice, taking
+// the fastest of measureTrials runs with a fresh decomposer each trial
+// — so per-slice Pre work (kernel selection, layout builds) is inside
+// the measurement, while scheduler noise between trials is not.
+func benchSliceRun(dims []int, slices []*sptensor.Tensor, opt core.Options) (float64, error) {
+	var err error
+	d := minDuration(measureTrials, func() {
+		dec, err2 := core.NewDecomposer(dims, opt)
+		if err2 != nil {
+			err = err2
+			return
+		}
+		for _, x := range slices {
+			if _, err2 := dec.ProcessSlice(x); err2 != nil {
+				err = err2
+				return
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(d.Nanoseconds()) / float64(len(slices)), nil
+}
+
+// compareBench diffs the fresh run against a committed baseline,
+// benchstat-style but advisory: regressions beyond 10% print WARN lines
+// and never fail the run (exit stays 0) — CI runners are too noisy for
+// a hard benchmark gate, but the warnings make regressions visible in
+// the job log.
+func compareBench(h *harness, fresh *benchFile) error {
+	data, err := os.ReadFile(h.benchCompare)
+	if err != nil {
+		return fmt.Errorf("compare baseline: %w", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("compare baseline %s: %w", h.benchCompare, err)
+	}
+	byName := make(map[string]benchRecord, len(base.Records))
+	for _, r := range base.Records {
+		byName[r.Name] = r
+	}
+	fmt.Fprintf(h.out, "\ncomparison vs %s (advisory, threshold +10%%):\n", h.benchCompare)
+	regressions, matched := 0, 0
+	for _, r := range fresh.Records {
+		b, ok := byName[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		matched++
+		delta := r.NsPerOp/b.NsPerOp - 1
+		if delta > 0.10 {
+			regressions++
+			fmt.Fprintf(h.out, "WARN: %-45s %+6.1f%% (%.0f → %.0f ns/op)\n", r.Name, 100*delta, b.NsPerOp, r.NsPerOp)
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(h.out, "no regressions beyond 10%% across %d matched benchmarks\n", matched)
+	} else {
+		fmt.Fprintf(h.out, "%d of %d matched benchmarks regressed beyond 10%% (advisory only)\n", regressions, matched)
+	}
+	return nil
+}

@@ -33,6 +33,12 @@ type harness struct {
 	// experiment with the raw series (for plotting).
 	csvDir string
 
+	// benchJSON / benchCompare configure the bench experiment: the
+	// output path for the results JSON and an optional committed
+	// baseline to diff against (advisory).
+	benchJSON    string
+	benchCompare string
+
 	model    perfmodel.Model
 	modelOK  bool
 	streams  map[string]*sptensor.Stream

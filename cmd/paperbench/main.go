@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fitlog, crossover, calibrate")
+		exp        = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fitlog, crossover, calibrate, bench, threshold")
 		mode       = flag.String("mode", "model", "model (paper-testbed performance model) or measure (wall clock on this host)")
 		scale      = flag.Float64("scale", 0.3, "synthetic dataset scale (1 = benchmark size)")
 		rank       = flag.Int("rank", 16, "decomposition rank for table1")
@@ -42,6 +42,8 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write raw per-experiment series as CSV files into this directory (model mode)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (useful with -mode measure)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		benchJSON  = flag.String("benchjson", "", "bench experiment: write results JSON to this file")
+		benchCmp   = flag.String("compare", "", "bench experiment: compare against this baseline JSON (advisory; warns on >10% regressions, never fails)")
 		showVer    = flag.Bool("version", false, "print version/build information and exit")
 	)
 	flag.Parse()
@@ -83,13 +85,15 @@ func main() {
 	}
 
 	h := &harness{
-		mode:       *mode,
-		scale:      *scale,
-		rank:       *rank,
-		slices:     *slices,
-		maxWorkers: *maxProc,
-		csvDir:     *csvDir,
-		out:        os.Stdout,
+		mode:         *mode,
+		scale:        *scale,
+		rank:         *rank,
+		slices:       *slices,
+		maxWorkers:   *maxProc,
+		csvDir:       *csvDir,
+		benchJSON:    *benchJSON,
+		benchCompare: *benchCmp,
+		out:          os.Stdout,
 	}
 	if err := h.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -110,7 +114,12 @@ func main() {
 		"fitlog":    h.fitlog,
 		"crossover": h.crossover,
 		"calibrate": h.calibrate,
+		"bench":     h.bench,
+		"threshold": h.threshold,
 	}
+	// bench and threshold are excluded from "all": they are host
+	// measurements (minutes of wall clock), run explicitly via
+	// `make bench` / `-exp threshold`.
 	order := []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fitlog", "crossover", "calibrate"}
 
 	var run []string

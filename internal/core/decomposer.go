@@ -6,9 +6,11 @@ import (
 	"math"
 
 	"spstream/internal/admm"
+	"spstream/internal/csf"
 	"spstream/internal/dense"
 	"spstream/internal/mttkrp"
 	"spstream/internal/parallel"
+	"spstream/internal/perfmodel"
 	"spstream/internal/resilience"
 	"spstream/internal/sptensor"
 	"spstream/internal/synth"
@@ -46,6 +48,16 @@ type Decomposer struct {
 	bd     trace.Breakdown
 	rng    *synth.RNG
 	pool   *parallel.Pool
+
+	// MTTKRP kernel selection (see kernels.go): the pooled CSF engine
+	// (created on first use), the cost-model selector, the reusable slice
+	// profile + counting scratch it reads, and the per-mode kernel table
+	// resolved at every slice begin.
+	csfEng     *csf.Engine
+	sel        perfmodel.Selector
+	prof       perfmodel.SliceProfile
+	profCounts []int32
+	kernels    []kernelChoice
 
 	// Scratch K×K matrices reused across iterations.
 	muG, phiS, sPhi, scratch1, scratch2 *dense.Matrix
@@ -106,6 +118,7 @@ func NewDecomposer(dims []int, opt Options) (*Decomposer, error) {
 		mt:   mttkrp.NewComputer(opt.Workers),
 		rng:  synth.NewRNG(opt.Seed),
 		pool: parallel.Default(),
+		sel:  perfmodel.NewSelector(opt.Workers),
 	}
 	d.solver = admm.NewSolver(admm.Options{
 		Workers:  opt.Workers,

@@ -6,7 +6,6 @@ import (
 	"math"
 	"time"
 
-	"spstream/internal/csf"
 	"spstream/internal/dense"
 	"spstream/internal/mttkrp"
 	"spstream/internal/parallel"
@@ -17,13 +16,15 @@ import (
 
 // explicitRun holds the per-slice state of Algorithm 1 between the
 // begin/iterate/finish phases. Splitting the slice loop this way keeps
-// every per-slice artifact (MTTKRP plan, CSF forest, convergence state)
+// every per-slice artifact (compiled MTTKRP layouts, convergence state)
 // out of the Decomposer while letting tests drive — and measure — a
-// single steady-state inner iteration in isolation.
+// single steady-state inner iteration in isolation. The kernel table
+// d.kernels (resolved in beginExplicit) says which layout each mode's
+// MTTKRP dispatches to; plan is nil when no mode chose it, and the CSF
+// trees live in the Decomposer's pooled engine.
 type explicitRun struct {
 	x         *sptensor.Tensor
 	plan      *mttkrp.Plan
-	forest    *csf.Forest
 	optimized bool
 	deltaPrev float64
 	res       SliceResult
@@ -63,8 +64,8 @@ func (d *Decomposer) processSliceExplicit(ctx context.Context, x *sptensor.Tenso
 
 // beginExplicit performs the per-slice Pre work: snapshot A_{t-1} and
 // C_{t-1}, seed H = C (A == A_{t-1} at the start of the inner loop),
-// compile the per-slice MTTKRP layout (plan for Optimized, CSF forest
-// under the CSFMTTKRP extension — both amortized over the inner
+// resolve the per-mode kernel table and compile the layouts it needs
+// (coordinate plan and/or CSF trees — both amortized over the inner
 // iterations), and solve the closed-form sₜ warm start.
 func (d *Decomposer) beginExplicit(x *sptensor.Tensor) (*explicitRun, error) {
 	run := &explicitRun{
@@ -80,15 +81,8 @@ func (d *Decomposer) beginExplicit(x *sptensor.Tensor) (*explicitRun, error) {
 			d.cPrev[m].CopyFrom(d.c[m])
 			d.h[m].CopyFrom(d.c[m])
 		}
-		switch {
-		case d.opt.CSFMTTKRP:
-			run.forest, err = csf.NewForest(x)
-		case run.optimized:
-			run.plan = d.mt.NewPlan(x)
-		}
-		if err == nil {
-			err = d.solveS(x, d.a, !run.optimized)
-		}
+		run.plan = d.beginKernels(x)
+		err = d.solveS(x, d.a, !run.optimized)
 	})
 	if err != nil {
 		return run, err
@@ -114,10 +108,10 @@ func (d *Decomposer) iterateExplicit(run *explicitRun) (bool, error) {
 		// sharing one time index) reduces to a column scaling of the
 		// N-way MTTKRP …
 		t0 := time.Now()
-		switch {
-		case run.forest != nil:
-			run.forest.MTTKRP(d.psi[n], d.a, n, d.opt.Workers)
-		case run.plan != nil:
+		switch d.kernels[n] {
+		case kcCSF:
+			d.csfEng.MTTKRP(d.psi[n], d.a, n)
+		case kcPlan:
 			d.mt.PlanMTTKRP(d.psi[n], run.plan, d.a, n)
 		default:
 			d.mt.Lock(d.psi[n], run.x, d.a, n)

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"spstream/internal/csf"
+	"spstream/internal/mttkrp"
+	"spstream/internal/perfmodel"
+	"spstream/internal/sptensor"
+)
+
+// This file threads the MTTKRP kernel policy through the slice
+// lifecycle. At every slice begin, chooseKernels resolves the policy
+// (Options.MTTKRPKernel, adjustable between slices via
+// SetMTTKRPKernel) into one concrete kernel per mode; the iterate
+// phases dispatch on that table. Under KernelAuto the perfmodel
+// selector compares the predicted cost of the compiled coordinate plan
+// against the tiled CSF engine per mode, using the measured slice shape
+// — a pure function of (slice, options), so checkpoint-restored and
+// retried slices reproduce the original kernel schedule exactly.
+
+// kernelChoice is one mode's resolved kernel for the current slice.
+type kernelChoice int8
+
+const (
+	kcLock kernelChoice = iota
+	kcPlan
+	kcCSF
+)
+
+// kernelPolicy resolves KernelDefault to the per-algorithm default.
+func (d *Decomposer) kernelPolicy() MTTKRPKernel {
+	if d.opt.MTTKRPKernel != KernelDefault {
+		return d.opt.MTTKRPKernel
+	}
+	if d.opt.Algorithm == Baseline {
+		return KernelLock
+	}
+	return KernelAuto
+}
+
+// selectorAmortIters is the inner-iteration count the per-slice build
+// cost is amortized over in Auto selection: MaxIters capped low, so a
+// stream that converges quickly is not charged for builds it would
+// never amortize. Deliberately conservative — underestimating the
+// iteration count biases toward the cheaper-to-build plan.
+func (d *Decomposer) selectorAmortIters() int {
+	it := d.opt.MaxIters
+	if it > 8 {
+		it = 8
+	}
+	return it
+}
+
+// chooseKernels fills d.kernels with one choice per mode of x and
+// reports which compiled layouts the slice needs. x is the tensor the
+// kernels will run over (the remapped slice for spCP-stream).
+func (d *Decomposer) chooseKernels(x *sptensor.Tensor) (needPlan, needCSF bool) {
+	n := x.NModes()
+	if cap(d.kernels) < n {
+		d.kernels = make([]kernelChoice, n)
+	}
+	d.kernels = d.kernels[:n]
+	switch d.kernelPolicy() {
+	case KernelLock:
+		for m := range d.kernels {
+			d.kernels[m] = kcLock
+		}
+	case KernelPlan:
+		for m := range d.kernels {
+			d.kernels[m] = kcPlan
+		}
+	case KernelCSF:
+		for m := range d.kernels {
+			d.kernels[m] = kcCSF
+		}
+	default: // KernelAuto
+		d.profCounts = perfmodel.ProfileInto(&d.prof, x, d.profCounts)
+		amort := d.selectorAmortIters()
+		for m := range d.kernels {
+			if d.sel.SelectMTTKRP(d.prof, m, d.k, amort) == perfmodel.MTTKRPCSF {
+				d.kernels[m] = kcCSF
+			} else {
+				d.kernels[m] = kcPlan
+			}
+		}
+	}
+	for _, kc := range d.kernels {
+		switch kc {
+		case kcPlan:
+			needPlan = true
+		case kcCSF:
+			needCSF = true
+		}
+	}
+	return needPlan, needCSF
+}
+
+// ensureEngine lazily creates the CSF engine on the Decomposer's pool.
+func (d *Decomposer) ensureEngine() *csf.Engine {
+	if d.csfEng == nil {
+		d.csfEng = csf.NewEngineWithPool(d.opt.Workers, d.pool)
+	}
+	return d.csfEng
+}
+
+// beginKernels resolves the kernel table for slice x and compiles the
+// layouts it needs: CSF trees for the CSF modes (built eagerly so the
+// cost lands in the Pre phase, not the first iteration) and the
+// coordinate plan for the plan modes. Returns the plan (nil when no
+// mode uses it).
+func (d *Decomposer) beginKernels(x *sptensor.Tensor) *mttkrp.Plan {
+	needPlan, needCSF := d.chooseKernels(x)
+	if needCSF {
+		eng := d.ensureEngine()
+		eng.Begin(x)
+		for m, kc := range d.kernels {
+			if kc == kcCSF {
+				eng.Build(m)
+			}
+		}
+	}
+	if !needPlan {
+		return nil
+	}
+	if allPlan(d.kernels) {
+		return d.mt.NewPlan(x)
+	}
+	need := make([]bool, len(d.kernels))
+	for m, kc := range d.kernels {
+		need[m] = kc == kcPlan
+	}
+	return d.mt.NewPlanFor(x, need)
+}
+
+func allPlan(ks []kernelChoice) bool {
+	for _, kc := range ks {
+		if kc != kcPlan {
+			return false
+		}
+	}
+	return true
+}

@@ -53,6 +53,48 @@ func (a Algorithm) String() string {
 	}
 }
 
+// MTTKRPKernel selects the factor-mode MTTKRP strategy.
+type MTTKRPKernel int
+
+const (
+	// KernelDefault picks per algorithm: Lock for Baseline (the
+	// paper-faithful unoptimized reference) and Auto for Optimized and
+	// SpCPStream.
+	KernelDefault MTTKRPKernel = iota
+	// KernelAuto selects plan vs CSF per mode at every slice using the
+	// perfmodel cost selector on the measured slice shape (nnz, mode
+	// lengths, rank, workers). The choice is a pure function of the
+	// slice and the options, so restored runs reproduce it exactly.
+	KernelAuto
+	// KernelPlan forces the per-slice compiled coordinate plan
+	// (mttkrp.Plan) for every mode.
+	KernelPlan
+	// KernelCSF forces the tiled CSF fiber-tree engine (csf.Engine) for
+	// every mode.
+	KernelCSF
+	// KernelLock forces the baseline striped-mutex kernel (no per-slice
+	// compile step).
+	KernelLock
+)
+
+// String names the kernel policy.
+func (k MTTKRPKernel) String() string {
+	switch k {
+	case KernelDefault:
+		return "default"
+	case KernelAuto:
+		return "auto"
+	case KernelPlan:
+		return "plan"
+	case KernelCSF:
+		return "csf"
+	case KernelLock:
+		return "lock"
+	default:
+		return fmt.Sprintf("MTTKRPKernel(%d)", int(k))
+	}
+}
+
 // Options configure a Decomposer. Zero values select the paper's
 // defaults where one exists.
 type Options struct {
@@ -97,11 +139,16 @@ type Options struct {
 	// most of their nz sets; exists for the ablation benchmark and as a
 	// numerical cross-check (spCP-stream only).
 	DirectCz bool
-	// CSFMTTKRP makes the explicit algorithms use the Compressed Sparse
-	// Fiber forest (SPLATT's format, related work [15]): one fiber tree
-	// per mode is built per slice and the MTTKRP reuses partial
-	// Khatri-Rao products along shared index prefixes. It replaces the
-	// default per-slice segmented plan kernel (see mttkrp.Plan).
+	// MTTKRPKernel selects the factor-mode MTTKRP strategy; see the
+	// MTTKRPKernel constants. The default picks Lock for Baseline and
+	// the cost-model Auto selection for Optimized and SpCPStream.
+	// Adjustable between slices via Decomposer.SetMTTKRPKernel.
+	MTTKRPKernel MTTKRPKernel
+	// CSFMTTKRP is the legacy switch for the Compressed Sparse Fiber
+	// MTTKRP (SPLATT's format, related work [15]); it is equivalent to
+	// MTTKRPKernel: KernelCSF and kept for compatibility. The fiber
+	// trees reuse partial Khatri-Rao products along shared index
+	// prefixes (see csf.Engine).
 	CSFMTTKRP bool
 	// Resilience, when non-nil, enables guarded slice processing: input
 	// scanning, the ridge-escalation recovery ladder for solver
@@ -148,6 +195,9 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.MTTKRPKernel == KernelDefault && o.CSFMTTKRP {
+		o.MTTKRPKernel = KernelCSF
+	}
 	if o.Resilience != nil {
 		cfg := o.Resilience.WithDefaults()
 		o.Resilience = &cfg
@@ -170,6 +220,9 @@ func (o Options) Validate(dims []int) error {
 	}
 	if o.Mu < 0 || o.Mu > 1 {
 		return fmt.Errorf("core: forgetting factor µ=%g outside [0,1]", o.Mu)
+	}
+	if o.MTTKRPKernel < KernelDefault || o.MTTKRPKernel > KernelLock {
+		return fmt.Errorf("core: unknown MTTKRPKernel %d", int(o.MTTKRPKernel))
 	}
 	if o.Algorithm == SpCPStream && o.Constraint != nil {
 		if !o.ConstrainedSpCP {

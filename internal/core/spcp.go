@@ -124,9 +124,11 @@ func (d *Decomposer) beginSpCP(x *sptensor.Tensor) (*spcpRun, error) {
 		// modes, so each mode owns its own buffer — resizing one shared
 		// buffer would allocate on every inner iteration).
 		d.ensureNzPsi(rm)
-		// The compiled MTTKRP layout over the remapped slice, reused by
-		// every A_nz update of the inner loop.
-		run.plan = d.mt.NewPlan(rm.X)
+		// The compiled MTTKRP layouts over the remapped slice, reused by
+		// every A_nz update of the inner loop. Kernel selection profiles
+		// the remapped slice — its mode lengths are the nz-row counts, so
+		// the cost model sees the problem the kernels actually run on.
+		run.plan = d.beginKernels(rm.X)
 		// sₜ update over the remapped slice and gathered prev factors
 		// (identical values, slice-local footprint).
 		err = d.solveS(rm.X, run.aNzPrev, false)
@@ -162,7 +164,14 @@ func (d *Decomposer) iterateSpCP(run *spcpRun) (bool, error) {
 		// plus the nz part of the historical term, then the Φ solve.
 		t0 = time.Now()
 		psi := d.nzPsi[n]
-		d.mt.PlanMTTKRP(psi, run.plan, run.aNz, n)
+		switch d.kernels[n] {
+		case kcCSF:
+			d.csfEng.MTTKRP(psi, run.aNz, n)
+		case kcPlan:
+			d.mt.PlanMTTKRP(psi, run.plan, run.aNz, n)
+		default:
+			d.mt.Lock(psi, run.rm.X, run.aNz, n)
+		}
 		// Column-scale by sₜ: the time mode's single Khatri-Rao row
 		// (see processSliceExplicit).
 		dense.ScaleColumns(psi, psi, d.s)

@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // This file is the runtime tuning surface the lag-aware degradation
 // controller (internal/ingest) drives: the knobs that trade model
 // quality for per-slice throughput while a stream is live. All of them
@@ -56,6 +58,25 @@ func (d *Decomposer) SetAlgorithm(a Algorithm) error {
 	}
 	d.opt.Algorithm = a
 	d.prevNZ = nil
+	return nil
+}
+
+// MTTKRPKernel returns the current factor-mode MTTKRP kernel policy.
+func (d *Decomposer) MTTKRPKernel() MTTKRPKernel { return d.opt.MTTKRPKernel }
+
+// SetMTTKRPKernel overrides the MTTKRP kernel policy for subsequent
+// slices. KernelDefault restores the per-algorithm default (Lock for
+// Baseline, cost-model Auto otherwise); KernelAuto/KernelPlan/
+// KernelCSF/KernelLock force a specific strategy. The switch is exact:
+// every kernel computes the same MTTKRP, only its schedule (and hence
+// rounding order) differs, and the table is re-resolved at the next
+// slice begin. Unknown values return an error and leave the policy
+// unchanged.
+func (d *Decomposer) SetMTTKRPKernel(k MTTKRPKernel) error {
+	if k < KernelDefault || k > KernelLock {
+		return fmt.Errorf("core: unknown MTTKRPKernel %d", int(k))
+	}
+	d.opt.MTTKRPKernel = k
 	return nil
 }
 

@@ -239,6 +239,13 @@ func (c *Computer) Hybrid(out *dense.Matrix, x *sptensor.Tensor, factors []*dens
 	c.localAccumulate(out, x, factors, mode)
 }
 
+// LocalAccumulate runs the thread-local path unconditionally, ignoring
+// ShortModeThreshold — the calibration benchmark measures both paths on
+// the same mode to locate the crossover.
+func (c *Computer) LocalAccumulate(out *dense.Matrix, x *sptensor.Tensor, factors []*dense.Matrix, mode int) {
+	c.localAccumulate(out, x, factors, mode)
+}
+
 // localAccumulate runs the thread-local path unconditionally (exposed
 // separately so benchmarks can compare both paths on the same mode).
 func (c *Computer) localAccumulate(out *dense.Matrix, x *sptensor.Tensor, factors []*dense.Matrix, mode int) {

@@ -36,14 +36,29 @@ type planMode struct {
 	workerSeg []int32
 	// active is the worker count the segment assignment was built for.
 	active int
+	// built reports whether this mode's layout was compiled. NewPlanFor
+	// skips modes the caller's kernel selection routed elsewhere.
+	built bool
 }
 
 // NewPlan compiles a plan for every mode of x using the Computer's
 // worker count. The slice must not be mutated while the plan is in use.
 func (c *Computer) NewPlan(x *sptensor.Tensor) *Plan {
+	return c.NewPlanFor(x, nil)
+}
+
+// NewPlanFor compiles a plan for the modes of x with need[m] set (nil =
+// all modes). A kernel selector that routes some modes to the CSF
+// engine uses this to avoid paying the counting sort for modes whose
+// layout would never be used; calling PlanMTTKRP on an uncompiled mode
+// panics.
+func (c *Computer) NewPlanFor(x *sptensor.Tensor, need []bool) *Plan {
 	p := &Plan{x: x, modes: make([]planMode, x.NModes())}
 	nnz := x.NNZ()
 	for m := range p.modes {
+		if need != nil && !need[m] {
+			continue
+		}
 		p.modes[m] = buildPlanMode(x.Inds[m], x.Dims[m], nnz, c.Workers)
 	}
 	return p
@@ -83,38 +98,12 @@ func buildPlanMode(col []int32, dim, nnz, workers int) planMode {
 	}
 	pm.segPtr = append(pm.segPtr, int32(nnz))
 
-	// Static worker→segment partition, balanced by nonzero count: worker
-	// w takes the segments up to the point where the cumulative nonzero
-	// count first reaches (w+1)·nnz/active. Whole segments only — each
+	// Static worker→segment partition, balanced by nonzero count (segPtr
+	// doubles as the cumulative weight array). Whole segments only — each
 	// output row has a single writer.
-	nSeg := len(pm.rows)
-	active := workers
-	if active > nSeg {
-		active = nSeg
-	}
-	if active < 1 {
-		active = 1
-	}
-	pm.active = active
-	pm.workerSeg = make([]int32, active+1)
-	w := 1
-	for s := 0; s < nSeg && w < active; s++ {
-		cum := int(pm.segPtr[s+1])
-		for w < active && cum*active >= w*nnz {
-			pm.workerSeg[w] = int32(s + 1)
-			w++
-		}
-	}
-	for ; w <= active; w++ {
-		pm.workerSeg[w] = int32(nSeg)
-	}
-	// A boundary may overshoot a later one when a huge segment crosses
-	// several quota marks; make the sequence monotone.
-	for i := 1; i <= active; i++ {
-		if pm.workerSeg[i] < pm.workerSeg[i-1] {
-			pm.workerSeg[i] = pm.workerSeg[i-1]
-		}
-	}
+	pm.workerSeg = parallel.WeightedBoundaries(nil, pm.segPtr, workers)
+	pm.active = len(pm.workerSeg) - 1
+	pm.built = true
 	return pm
 }
 
@@ -129,6 +118,9 @@ func (c *Computer) PlanMTTKRP(out *dense.Matrix, plan *Plan, factors []*dense.Ma
 	k := checkArgs(out, x, factors, mode)
 	out.Zero()
 	pm := &plan.modes[mode]
+	if !pm.built {
+		panic("mttkrp: PlanMTTKRP on a mode the plan was not compiled for")
+	}
 	if len(pm.rows) == 0 {
 		return
 	}

@@ -104,3 +104,52 @@ func ReduceFloat64(n, workers int, body func(w int, r Range) float64) float64 {
 func ReduceVec(n, workers, dim int, body func(w int, r Range, acc []float64)) []float64 {
 	return Default().ReduceVec(n, workers, dim, body)
 }
+
+// WeightedBoundaries statically assigns weighted segments to workers.
+// cum is the cumulative weight array of the segments: segment s has
+// weight cum[s+1]−cum[s], so len(cum) == nSeg+1 and cum[0] == 0. The
+// returned slice has active+1 entries with boundaries[0] == 0 and
+// boundaries[active] == nSeg; worker w owns segments
+// [boundaries[w], boundaries[w+1]), chosen so each worker's summed
+// weight is near total/active — worker w's range ends at the first
+// segment where the cumulative weight reaches (w+1)·total/active.
+// Whole segments only, so a segment is never split across workers.
+//
+// buf is reused when its capacity suffices (pass nil to allocate). The
+// assignment depends only on (cum, active) — not on how many workers
+// actually execute — which is what lets callers keep results
+// bit-identical across worker counts.
+func WeightedBoundaries(buf []int32, cum []int32, active int) []int32 {
+	nSeg := len(cum) - 1
+	if active > nSeg {
+		active = nSeg
+	}
+	if active < 1 {
+		active = 1
+	}
+	if cap(buf) < active+1 {
+		buf = make([]int32, active+1)
+	}
+	b := buf[:active+1]
+	b[0] = 0
+	total := int(cum[nSeg])
+	w := 1
+	for s := 0; s < nSeg && w < active; s++ {
+		c := int(cum[s+1])
+		for w < active && c*active >= w*total {
+			b[w] = int32(s + 1)
+			w++
+		}
+	}
+	for ; w <= active; w++ {
+		b[w] = int32(nSeg)
+	}
+	// A boundary may overshoot a later one when a huge segment crosses
+	// several quota marks; make the sequence monotone.
+	for i := 1; i <= active; i++ {
+		if b[i] < b[i-1] {
+			b[i] = b[i-1]
+		}
+	}
+	return b
+}

@@ -52,6 +52,12 @@ const (
 	MTTKRPHybrid
 	// MTTKRPRowSparse is spCP-stream's spMTTKRP over gathered nz rows.
 	MTTKRPRowSparse
+	// MTTKRPPlan is the per-slice compiled segmented-reduction kernel
+	// (mttkrp.Plan). Contention-free; modeled by Selector.PlanModeTime.
+	MTTKRPPlan
+	// MTTKRPCSF is the tiled CSF fiber-tree kernel (csf.Engine).
+	// Modeled by Selector.CSFModeTime.
+	MTTKRPCSF
 )
 
 // shortModeThreshold mirrors the kernel's switch point.
@@ -172,6 +178,18 @@ func (mo Model) mttkrpModeTime(kind MTTKRPKind, s SliceProfile, mode, k, p int) 
 			return mo.localModeTime(m.Dim, nnz, k, n, p, 1)
 		}
 		return mo.lockedModeTime(m.Dim, m.TopRowFrac, nnz, k, n, p, footprint)
+	case MTTKRPPlan, MTTKRPCSF:
+		// Per-slice compiled contention-free kernels: parallel work with
+		// no locks and no p-way output reduction (the plan gives every
+		// output row a single writer; the CSF engine's shard merge is
+		// negligible). Host-accurate predictions live in Selector; this
+		// case keeps the paper-testbed model total.
+		work := nnz * mo.rowWork(k, n) / float64(p) * 1e-9
+		mem := mo.memTime(0, nnz*float64(8+4*n), footprint, p)
+		if mem > work {
+			work = mem
+		}
+		return work + mo.barrier(p)
 	default:
 		return mo.lockedModeTime(m.Dim, m.TopRowFrac, nnz, k, n, p, footprint)
 	}

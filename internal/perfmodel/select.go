@@ -1,0 +1,262 @@
+package perfmodel
+
+import (
+	"math"
+
+	"spstream/internal/csf"
+	"spstream/internal/roofline"
+	"spstream/internal/sptensor"
+)
+
+// This file is the runtime kernel selector: given a measured slice
+// shape, it predicts the per-mode cost of the two per-slice compiled
+// MTTKRP kernels — the coordinate plan (mttkrp.Plan) and the tiled CSF
+// engine (csf.Engine) — and picks the faster one. Unlike the paper-
+// testbed model in kernels.go (which reproduces published scaling
+// curves), the selector runs on whatever host the stream runs on, so
+// its constants are calibrated against measured single-core kernel
+// times (EXPERIMENTS.md, "CSF vs plan crossover") and it only needs the
+// *ordering* of the two predictions to be right, with a conservative
+// margin absorbing the residual model error.
+
+// SelectorParams holds the host-generic per-operation costs (ns) of the
+// two compiled kernels. Defaults were fit on a commodity x86-64 core
+// against the measured kernel grid in BENCH_PR5.json (`make bench`) at
+// ranks 16–32 and 2·10⁵–3·10⁵ nonzeros; see EXPERIMENTS.md.
+type SelectorParams struct {
+	// Plan kernel: cost per nonzero = PlanNsPerNnz + K·PlanNsPerRank
+	// (permutation gather, two factor-row gathers, 3-op row product).
+	PlanNsPerNnz  float64
+	PlanNsPerRank float64
+	// PlanLastModeFactor scales the plan prediction for the slice's last
+	// mode. Coalesced slices are stored in lexicographic order, so the
+	// plan permutation for the last mode visits the nonzero arrays in
+	// maximally scattered order (every consecutive gather jumps), while
+	// earlier modes read in long sequential runs; the measured grid
+	// shows the last mode costing ~1.7–2.2× the others.
+	PlanLastModeFactor float64
+	// CSF kernel: every stored value costs CSFValNs + K·CSFLeafNsPerRank
+	// (sequential value stream + leaf factor row); every internal node
+	// at the levels above the leaves costs CSFNodeNs + K·CSFNodeNsPerRank
+	// (one factor row gather + partial-product scale-add). Leaves carry
+	// no node cost — their work is the per-value term.
+	CSFValNs         float64
+	CSFLeafNsPerRank float64
+	CSFNodeNs        float64
+	CSFNodeNsPerRank float64
+	// Build costs per nonzero: the plan's one counting sort per mode vs
+	// the CSF engine's N-pass radix sort + tree pass per tree. Amortized
+	// over the expected inner iterations.
+	PlanBuildNsPerNnz float64
+	CSFBuildNsPerNnz  float64 // per nonzero per level of one tree
+	// Margin < 1: CSF is selected only when its predicted time is below
+	// Margin × the plan's prediction, so prediction noise near the
+	// crossover resolves to the kernel whose worst case is milder.
+	Margin float64
+}
+
+// DefaultSelectorParams returns the host-generic calibration.
+func DefaultSelectorParams() SelectorParams {
+	return SelectorParams{
+		PlanNsPerNnz:       8,
+		PlanNsPerRank:      3.4,
+		PlanLastModeFactor: 1.8,
+		CSFValNs:           5,
+		CSFLeafNsPerRank:   2,
+		CSFNodeNs:          10,
+		CSFNodeNsPerRank:   1,
+		PlanBuildNsPerNnz:  11,
+		CSFBuildNsPerNnz:   28,
+		Margin:             0.9,
+	}
+}
+
+// Selector predicts and compares the compiled MTTKRP kernels.
+type Selector struct {
+	P SelectorParams
+	// Workers is the parallel width both kernels run at.
+	Workers int
+}
+
+// NewSelector returns a selector for the given worker count with the
+// default calibration.
+func NewSelector(workers int) Selector {
+	if workers < 1 {
+		workers = 1
+	}
+	return Selector{P: DefaultSelectorParams(), Workers: workers}
+}
+
+// distinct returns the birthday-problem estimate of how many distinct
+// values n uniform draws from a space of given size produce:
+// space·(1 − e^(−n/space)), clamped to [1, n]. It is exact in
+// expectation for uniform coordinates and a usable upper bound for
+// skewed ones (skew only reduces distinct counts, making CSF cheaper
+// than predicted — an error in the conservative direction for the
+// plan, absorbed by Margin on the CSF side).
+func distinct(space, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if space <= 0 {
+		return 1
+	}
+	d := space * (1 - math.Exp(-n/space))
+	if d > n {
+		d = n
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// PlanModeTime predicts one plan-kernel MTTKRP (seconds, excluding
+// build) for one mode of the profiled slice.
+func (se Selector) PlanModeTime(s SliceProfile, mode, k int) float64 {
+	nnz := float64(s.NNZ)
+	t := nnz * (se.P.PlanNsPerNnz + float64(k)*se.P.PlanNsPerRank) / float64(se.Workers) * 1e-9
+	if mode == len(s.Modes)-1 {
+		t *= se.P.PlanLastModeFactor
+	}
+	return t
+}
+
+// CSFModeTime predicts one CSF-engine MTTKRP (seconds, excluding build)
+// for one mode: the tree is rooted at the mode with the remaining modes
+// by increasing length (mirroring csf.ModeOrder), and the node count at
+// each internal level below the root is the birthday estimate of
+// distinct coordinate prefixes.
+func (se Selector) CSFModeTime(s SliceProfile, mode, k int) float64 {
+	nnz := float64(s.NNZ)
+	if nnz == 0 {
+		return 0
+	}
+	dims := make([]int, len(s.Modes))
+	for m := range s.Modes {
+		dims[m] = s.Modes[m].Dim
+	}
+	order := csf.ModeOrder(nil, dims, mode)
+	n := len(order)
+	// Every stored value pays the leaf term; internal nodes exist at
+	// levels 1..n-2 (the roots are amortized into their subtrees, the
+	// leaves are the values themselves). Level l's node count is the
+	// birthday estimate of distinct (order[0..l]) coordinate prefixes;
+	// the prefix space is capped by the observed per-mode nz-row counts,
+	// which are tighter than the full mode lengths on sparse slices.
+	leafScale := se.P.CSFValNs + float64(k)*se.P.CSFLeafNsPerRank
+	nodeScale := se.P.CSFNodeNs + float64(k)*se.P.CSFNodeNsPerRank
+	cost := nnz * leafScale
+	space := rowSpace(s.Modes[order[0]])
+	for l := 1; l < n-1; l++ {
+		space *= rowSpace(s.Modes[order[l]])
+		cost += distinct(space, nnz) * nodeScale
+	}
+	return cost / float64(se.Workers) * 1e-9
+}
+
+// rowSpace is the effective coordinate space of one mode: the observed
+// distinct-row count when available, else the mode length.
+func rowSpace(m ModeProfile) float64 {
+	if m.NZRows > 0 {
+		return float64(m.NZRows)
+	}
+	if m.Dim > 0 {
+		return float64(m.Dim)
+	}
+	return 1
+}
+
+// PlanBuildTime and CSFBuildTime predict the per-slice compile cost of
+// one mode's layout (seconds). The CSF build is serial per tree (radix
+// sort passes); the plan build is one counting sort.
+func (se Selector) PlanBuildTime(s SliceProfile) float64 {
+	return float64(s.NNZ) * se.P.PlanBuildNsPerNnz * 1e-9
+}
+
+// CSFBuildTime predicts building one CSF tree for the slice.
+func (se Selector) CSFBuildTime(s SliceProfile) float64 {
+	return float64(s.NNZ) * float64(len(s.Modes)) * se.P.CSFBuildNsPerNnz * 1e-9
+}
+
+// SelectMTTKRP chooses the kernel for one mode of the profiled slice:
+// MTTKRPCSF when the CSF prediction — including its build amortized
+// over amortIters inner iterations — beats the plan prediction by the
+// conservative margin, else MTTKRPPlan. The choice is a pure function
+// of (profile, mode, k, amortIters, params), never of runtime history,
+// so checkpoint-restored runs reproduce the original kernel schedule
+// bit-for-bit.
+func (se Selector) SelectMTTKRP(s SliceProfile, mode, k, amortIters int) MTTKRPKind {
+	if amortIters < 1 {
+		amortIters = 1
+	}
+	iters := float64(amortIters)
+	plan := se.PlanModeTime(s, mode, k) + se.PlanBuildTime(s)/iters
+	csft := se.CSFModeTime(s, mode, k) + se.CSFBuildTime(s)/iters
+	if csft < se.P.Margin*plan {
+		return MTTKRPCSF
+	}
+	return MTTKRPPlan
+}
+
+// HostModel returns a Model describing a generic current-generation
+// host with the given core count — the machine stand-in the runtime
+// selector and host-side experiments use when the paper's quad-socket
+// testbed is not the target.
+func HostModel(cores int) Model {
+	if cores < 1 {
+		cores = 1
+	}
+	return Model{
+		M: roofline.Machine{
+			PeakFlopsPerCore:   8e9,
+			BandwidthPerSocket: 20e9,
+			CoresPerSocket:     cores,
+			Sockets:            1,
+			CacheBytes:         8 << 20,
+		},
+		P: DefaultParams(),
+	}
+}
+
+// ProfileInto measures a SliceProfile from x into p, reusing p's Modes
+// slice and the counts scratch buffer (grown to the longest mode, then
+// reused). It returns the scratch for the caller to keep. Unlike
+// Profile it allocates nothing in steady state, so per-slice kernel
+// selection stays off the allocator.
+func ProfileInto(p *SliceProfile, x *sptensor.Tensor, counts []int32) []int32 {
+	n := x.NModes()
+	p.NNZ = x.NNZ()
+	if cap(p.Modes) < n {
+		p.Modes = make([]ModeProfile, n)
+	}
+	p.Modes = p.Modes[:n]
+	for m := 0; m < n; m++ {
+		dim := x.Dims[m]
+		if cap(counts) < dim {
+			counts = make([]int32, dim)
+		}
+		c := counts[:dim]
+		for i := range c {
+			c[i] = 0
+		}
+		for _, i := range x.Inds[m] {
+			c[i]++
+		}
+		nzRows, maxPer := 0, int32(0)
+		for _, v := range c {
+			if v > 0 {
+				nzRows++
+			}
+			if v > maxPer {
+				maxPer = v
+			}
+		}
+		top := 0.0
+		if p.NNZ > 0 {
+			top = float64(maxPer) / float64(p.NNZ)
+		}
+		p.Modes[m] = ModeProfile{Dim: dim, NZRows: nzRows, TopRowFrac: top}
+	}
+	return counts
+}
