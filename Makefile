@@ -10,7 +10,7 @@ LDFLAGS   = -ldflags "-X spstream/internal/version.Version=$(VERSION) \
 	-X spstream/internal/version.Commit=$(COMMIT) \
 	-X spstream/internal/version.BuildDate=$(BUILDDATE)"
 
-.PHONY: all build test race cover bench bench-compare bench-go threshold lint repro repro-measure fuzz e2e clean
+.PHONY: all build test race cover bench bench-skew bench-compare benchcmp bench-go threshold lint repro repro-measure fuzz e2e clean
 
 all: build test
 
@@ -29,15 +29,30 @@ cover:
 
 # Reproducible benchmark pipeline: MTTKRP kernel grid (lock / plan /
 # CSF, ns/op + B/op + allocs/op + effective GFLOP/s, worker sweep up to
-# GOMAXPROCS) and end-to-end slices under each kernel policy, written
-# to BENCH_PR5.json. The committed copy of that file is the regression
-# baseline; `make bench-compare` diffs a fresh run against it
-# (advisory: warns past 10%, never fails).
+# GOMAXPROCS) and end-to-end slices under each kernel + layout policy,
+# written to BENCH_PR6.json and compared against the previous committed
+# baseline. BENCH_BASE resolves to the newest committed BENCH_PR*.json;
+# `make bench-compare` diffs a fresh run against it (advisory: warns
+# past 10%, never fails).
+BENCH_BASE ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
+
 bench:
-	$(GO) run ./cmd/paperbench -exp bench -benchjson BENCH_PR5.json
+	$(GO) run ./cmd/paperbench -exp bench -benchjson BENCH_PR6.json -compare BENCH_PR5.json
 
 bench-compare:
-	$(GO) run ./cmd/paperbench -exp bench -benchjson bench_fresh.json -compare BENCH_PR5.json
+	$(GO) run ./cmd/paperbench -exp bench -benchjson bench_fresh.json -compare $(BENCH_BASE)
+
+# Just the layout-sensitive configs (skewed + dupheavy): the quick
+# check that hot-row remapping still pays off on this host.
+bench-skew:
+	$(GO) run ./cmd/paperbench -exp bench -benchconfigs dupheavy,skewed
+
+# Per-config speedup table between two committed bench files:
+#   make benchcmp OLD=BENCH_PR5.json NEW=BENCH_PR6.json
+OLD ?= BENCH_PR5.json
+NEW ?= BENCH_PR6.json
+benchcmp:
+	$(GO) run ./cmd/paperbench -exp benchcmp -old $(OLD) -new $(NEW)
 
 # Raw go test micro-benchmarks across all packages.
 bench-go:

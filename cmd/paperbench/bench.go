@@ -3,9 +3,13 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"spstream/internal/core"
 	"spstream/internal/csf"
@@ -20,10 +24,10 @@ import (
 // `make bench`: it times the three factor-mode MTTKRP kernels (lock,
 // coordinate plan, tiled CSF) and full end-to-end slices under each
 // kernel policy on fixed synthetic configs, and emits the results as
-// machine-readable JSON (BENCH_PR5.json). The committed copy of that
-// file is the regression baseline CI compares fresh runs against
-// (advisory: >10% slowdowns warn, they do not fail the build — shared
-// runners are too noisy for a hard gate).
+// machine-readable JSON (BENCH_PR<n>.json). The newest committed copy
+// of that file is the regression baseline CI compares fresh runs
+// against (advisory: >10% slowdowns warn, they do not fail the build —
+// shared runners are too noisy for a hard gate).
 
 // benchRecord is one benchmark measurement. Name is the stable identity
 // compare runs match on.
@@ -42,6 +46,10 @@ type benchRecord struct {
 	// K-wide multiply chain over the N−1 source modes plus the
 	// accumulate, per nonzero). Zero for slice benches.
 	GFLOPS float64 `json:"gflops,omitempty"`
+	// Remapped / HotFirst record the layout manager's verdict on the
+	// final slice of an end-to-end bench (slice records only).
+	Remapped bool `json:"remapped,omitempty"`
+	HotFirst bool `json:"hot_first,omitempty"`
 }
 
 // benchFile is the JSON document. CSFBestSpeedup is the best
@@ -49,19 +57,25 @@ type benchRecord struct {
 // headline number the PR's acceptance criterion (≥1.3× on at least one
 // config) reads directly.
 type benchFile struct {
-	GoVersion      string        `json:"go_version"`
-	GOMAXPROCS     int           `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Baseline names the committed bench file this run was compared
+	// against when it was produced (the -compare flag), so a committed
+	// BENCH_PR<n>.json records its own lineage.
+	Baseline       string        `json:"baseline,omitempty"`
 	CSFBestSpeedup float64       `json:"csf_best_speedup"`
 	CSFBestAt      string        `json:"csf_best_at"`
 	Records        []benchRecord `json:"records"`
 }
 
-// benchConfig is one synthetic workload of the grid. The three configs
+// benchConfig is one synthetic workload of the grid. The four configs
 // pin the regimes the kernel selector discriminates: a short leading
 // mode (heavy output-row sharing, the plan's worst case), a uniform
-// cube (both kernels comfortable), and a duplicate-heavy slice whose
+// cube (both kernels comfortable), a duplicate-heavy slice whose
 // coalesced fiber tree is much smaller than its nonzero count (CSF's
-// best case).
+// best case), and a skewed slice with long, sparsely-touched modes —
+// the layout manager's target regime, where per-slice activity covers
+// a small hot fraction of huge factor matrices.
 type benchConfig struct {
 	name  string
 	dists []synth.IndexDist
@@ -73,6 +87,11 @@ func benchConfigs() []benchConfig {
 		{"shortmode", []synth.IndexDist{synth.Uniform{N: 32}, synth.Uniform{N: 3000}, synth.Uniform{N: 3000}}, 200000},
 		{"cube", []synth.IndexDist{synth.Uniform{N: 800}, synth.Uniform{N: 800}, synth.Uniform{N: 800}}, 200000},
 		{"dupheavy", []synth.IndexDist{synth.NewZipf(24, 0.5), synth.NewZipf(1100, 0.9), synth.NewZipf(1700, 0.9)}, 300000},
+		{"skewed", []synth.IndexDist{
+			synth.NewZipf(40000, 1.1),
+			synth.Clustered{N: 60000, Window: 1500, Drift: 900, Revisit: 0.2},
+			synth.NewZipf(50000, 1.05),
+		}, 200000},
 	}
 }
 
@@ -88,18 +107,46 @@ func benchSlices(cfg benchConfig, t int) ([]*sptensor.Tensor, []int, error) {
 	return s.Slices, s.Dims, nil
 }
 
+// benchSelected filters the grid by the -benchconfigs flag (empty =
+// all), so `make bench-skew` can rerun just the layout-sensitive
+// configs without the full grid's wall clock.
+func (h *harness) benchSelected() ([]benchConfig, error) {
+	all := benchConfigs()
+	if h.benchOnly == "" {
+		return all, nil
+	}
+	byName := make(map[string]benchConfig, len(all))
+	for _, c := range all {
+		byName[c.name] = c
+	}
+	var out []benchConfig
+	for _, name := range strings.Split(h.benchOnly, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown bench config %q", name)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
 // bench runs the kernel + end-to-end grid and writes the JSON.
 func (h *harness) bench() error {
-	h.header("Bench — MTTKRP kernel and end-to-end slice pipeline (BENCH_PR5.json)",
+	h.header("Bench — MTTKRP kernel and end-to-end slice pipeline",
 		"reproducible regression baseline; kernel grid backs the cost-model selector")
-	doc := benchFile{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	doc := benchFile{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Baseline: h.benchCompare}
+	cfgs, err := h.benchSelected()
+	if err != nil {
+		return err
+	}
 	workers := h.measureWorkers()
 
 	// --- kernel grid ---------------------------------------------------
 	fmt.Fprintf(h.out, "\nkernel grid (%d trials each):\n", 1)
 	fmt.Fprintf(h.out, "%-10s %5s %5s %8s %-6s %14s %12s %10s %9s\n",
 		"config", "mode", "rank", "workers", "kernel", "ns/op", "B/op", "allocs/op", "GFLOP/s")
-	for _, cfg := range benchConfigs() {
+	for _, cfg := range cfgs {
 		slices, dims, err := benchSlices(cfg, 2)
 		if err != nil {
 			return err
@@ -144,45 +191,67 @@ func (h *harness) bench() error {
 
 	// --- end-to-end slices ---------------------------------------------
 	// Optimized CP-stream over the same configs under each forced policy
-	// plus Auto; the selector check is that Auto never loses to the best
-	// forced kernel by more than measurement slack.
-	fmt.Fprintf(h.out, "\nend-to-end slices (optimized CP-stream, %d inner iters):\n", 4)
-	fmt.Fprintf(h.out, "%-10s %5s %8s %-6s %14s\n", "config", "rank", "workers", "policy", "ns/slice")
-	policies := []struct {
-		name string
-		k    core.MTTKRPKernel
-	}{{"auto", core.KernelAuto}, {"plan", core.KernelPlan}, {"csf", core.KernelCSF}}
+	// plus Auto (with and without the layout manager, isolating the
+	// hot-row remapping payoff); the selector check is that Auto never
+	// loses to the best forced kernel by more than measurement slack.
+	fmt.Fprintf(h.out, "\nend-to-end slices (optimized CP-stream, %d inner iters, min of %d interleaved trials):\n", 4, e2eTrials)
+	fmt.Fprintf(h.out, "%-10s %5s %8s %-14s %14s %6s %4s\n", "config", "rank", "workers", "policy", "ns/slice", "remap", "hot")
+	pols := e2ePolicies()
 	w := workers[len(workers)-1]
-	for _, cfg := range benchConfigs() {
+	for _, cfg := range cfgs {
 		slices, dims, err := benchSlices(cfg, 3)
 		if err != nil {
 			return err
 		}
 		for _, k := range benchRanks {
-			perPolicy := make(map[string]float64, len(policies))
-			for _, pol := range policies {
-				opt := core.Options{Rank: k, Algorithm: core.Optimized, Workers: w,
-					Seed: 9, MaxIters: 4, Tol: 0, MTTKRPKernel: pol.k}
-				ns, err := benchSliceRun(dims, slices, opt)
-				if err != nil {
-					return err
+			best := make([]float64, len(pols))
+			for i := range best {
+				best[i] = math.Inf(1)
+			}
+			remapped := make([]bool, len(pols))
+			hotFirst := make([]bool, len(pols))
+			// Interleave the policies within each trial and rotate the
+			// starting policy per trial: back-to-back runs of the same
+			// policy share correlated scheduler and cache state, and a
+			// fixed order hands later policies a warmer process. The
+			// rotation distributes any position effect evenly, so the
+			// per-policy minima are comparable.
+			for tr := 0; tr < e2eTrials; tr++ {
+				for po := range pols {
+					pi := (po + tr) % len(pols)
+					pol := pols[pi]
+					opt := core.Options{Rank: k, Algorithm: core.Optimized, Workers: w,
+						Seed: 9, MaxIters: 4, Tol: 0, MTTKRPKernel: pol.kernel, Layout: pol.layout}
+					d, rm, hf, err := benchSliceOnce(dims, slices, opt)
+					if err != nil {
+						return err
+					}
+					if ns := float64(d.Nanoseconds()) / float64(len(slices)); ns < best[pi] {
+						best[pi] = ns
+					}
+					remapped[pi], hotFirst[pi] = rm, hf
 				}
-				perPolicy[pol.name] = ns
+			}
+			perPolicy := make(map[string]float64, len(pols))
+			for pi, pol := range pols {
+				perPolicy[pol.name] = best[pi]
 				rec := benchRecord{
 					Name: fmt.Sprintf("slice/%s/k%d/w%d/%s", cfg.name, k, w, pol.name),
 					Kind: "slice", Config: cfg.name, Kernel: pol.name,
-					Mode: -1, Rank: k, Workers: w, NsPerOp: ns,
+					Mode: -1, Rank: k, Workers: w, NsPerOp: best[pi],
+					Remapped: remapped[pi], HotFirst: hotFirst[pi],
 				}
 				doc.Records = append(doc.Records, rec)
-				fmt.Fprintf(h.out, "%-10s %5d %8d %-6s %14.0f\n", cfg.name, k, w, pol.name, ns)
+				fmt.Fprintf(h.out, "%-10s %5d %8d %-14s %14.0f %6v %4v\n",
+					cfg.name, k, w, pol.name, best[pi], remapped[pi], hotFirst[pi])
 			}
-			best := perPolicy["plan"]
-			if perPolicy["csf"] < best {
-				best = perPolicy["csf"]
+			bestForced := perPolicy["plan"]
+			if perPolicy["csf"] < bestForced {
+				bestForced = perPolicy["csf"]
 			}
-			if perPolicy["auto"] > best*1.10 {
+			if perPolicy["auto"] > bestForced*1.10 {
 				fmt.Fprintf(h.out, "WARN: %s k=%d: auto policy (%.0f ns) regresses %.0f%% vs best forced kernel (%.0f ns)\n",
-					cfg.name, k, perPolicy["auto"], 100*(perPolicy["auto"]/best-1), best)
+					cfg.name, k, perPolicy["auto"], 100*(perPolicy["auto"]/bestForced-1), bestForced)
 			}
 		}
 	}
@@ -242,29 +311,49 @@ func benchKernelOnce(kernel string, x *sptensor.Tensor, factors []*dense.Matrix,
 	}
 }
 
-// benchSliceRun processes the stream and returns ns per slice, taking
-// the fastest of measureTrials runs with a fresh decomposer each trial
-// — so per-slice Pre work (kernel selection, layout builds) is inside
-// the measurement, while scheduler noise between trials is not.
-func benchSliceRun(dims []int, slices []*sptensor.Tensor, opt core.Options) (float64, error) {
-	var err error
-	d := minDuration(measureTrials, func() {
-		dec, err2 := core.NewDecomposer(dims, opt)
-		if err2 != nil {
-			err = err2
-			return
-		}
-		for _, x := range slices {
-			if _, err2 := dec.ProcessSlice(x); err2 != nil {
-				err = err2
-				return
-			}
-		}
-	})
-	if err != nil {
-		return 0, err
+// e2eTrials is the trial count for the end-to-end slice grid; the
+// minimum over interleaved, rotation-ordered trials is reported.
+const e2eTrials = 4
+
+// e2ePolicy is one end-to-end run configuration: a kernel policy plus a
+// layout policy.
+type e2ePolicy struct {
+	name   string
+	kernel core.MTTKRPKernel
+	layout core.LayoutPolicy
+}
+
+// e2ePolicies returns the end-to-end grid: the adaptive selector with
+// and without the layout manager (their gap is the hot-row remapping
+// payoff) and each forced kernel. Forced kernels never remap, so their
+// layout policy is irrelevant.
+func e2ePolicies() []e2ePolicy {
+	return []e2ePolicy{
+		{"auto", core.KernelAuto, core.LayoutDefault},
+		{"auto-nolayout", core.KernelAuto, core.LayoutOff},
+		{"plan", core.KernelPlan, core.LayoutDefault},
+		{"csf", core.KernelCSF, core.LayoutDefault},
 	}
-	return float64(d.Nanoseconds()) / float64(len(slices)), nil
+}
+
+// benchSliceOnce runs the stream once through a fresh decomposer and
+// returns the wall time plus the layout verdict of the final slice.
+// Per-slice Pre work (kernel selection, layout builds) is inside the
+// measurement; construction is too, matching earlier baselines.
+func benchSliceOnce(dims []int, slices []*sptensor.Tensor, opt core.Options) (time.Duration, bool, bool, error) {
+	start := time.Now()
+	dec, err := core.NewDecomposer(dims, opt)
+	if err != nil {
+		return 0, false, false, err
+	}
+	for _, x := range slices {
+		if _, err := dec.ProcessSlice(x); err != nil {
+			return 0, false, false, err
+		}
+	}
+	d := time.Since(start)
+	rm, hot := dec.LastLayoutDecision()
+	return d, rm, hot, nil
 }
 
 // compareBench diffs the fresh run against a committed baseline,
@@ -305,4 +394,85 @@ func compareBench(h *harness, fresh *benchFile) error {
 		fmt.Fprintf(h.out, "%d of %d matched benchmarks regressed beyond 10%% (advisory only)\n", regressions, matched)
 	}
 	return nil
+}
+
+// benchcmp prints a per-config speedup table between two committed
+// bench files (`make benchcmp OLD=BENCH_PR5.json NEW=BENCH_PR6.json`).
+// Only records present in both files are compared, so the table is
+// apples-to-apples even when the newer file adds configs or policies.
+func (h *harness) benchcmpExp() error {
+	if h.cmpOld == "" || h.cmpNew == "" {
+		return fmt.Errorf("benchcmp needs -old and -new bench JSON files")
+	}
+	old, err := readBenchFile(h.cmpOld)
+	if err != nil {
+		return err
+	}
+	fresh, err := readBenchFile(h.cmpNew)
+	if err != nil {
+		return err
+	}
+	h.header(fmt.Sprintf("Benchcmp — %s vs %s", h.cmpOld, h.cmpNew),
+		"per-config speedup of matched records (old ns / new ns; >1 is faster)")
+
+	byName := make(map[string]benchRecord, len(old.Records))
+	for _, r := range old.Records {
+		byName[r.Name] = r
+	}
+	type row struct {
+		rec     benchRecord
+		oldNs   float64
+		speedup float64
+	}
+	perConfig := map[string][]row{}
+	var configs []string
+	for _, r := range fresh.Records {
+		b, ok := byName[r.Name]
+		if !ok || b.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		if _, seen := perConfig[r.Config]; !seen {
+			configs = append(configs, r.Config)
+		}
+		perConfig[r.Config] = append(perConfig[r.Config], row{r, b.NsPerOp, b.NsPerOp / r.NsPerOp})
+	}
+	sort.Strings(configs)
+	matched := 0
+	for _, cfg := range configs {
+		rows := perConfig[cfg]
+		fmt.Fprintf(h.out, "\n%s:\n", cfg)
+		fmt.Fprintf(h.out, "  %-45s %14s %14s %9s\n", "name", "old ns/op", "new ns/op", "speedup")
+		logSum, sliceLogSum, slices := 0.0, 0.0, 0
+		for _, rw := range rows {
+			fmt.Fprintf(h.out, "  %-45s %14.0f %14.0f %8.2fx\n", rw.rec.Name, rw.oldNs, rw.rec.NsPerOp, rw.speedup)
+			logSum += math.Log(rw.speedup)
+			if rw.rec.Kind == "slice" {
+				sliceLogSum += math.Log(rw.speedup)
+				slices++
+			}
+		}
+		matched += len(rows)
+		fmt.Fprintf(h.out, "  geomean %.3fx over %d records", math.Exp(logSum/float64(len(rows))), len(rows))
+		if slices > 0 {
+			fmt.Fprintf(h.out, " (end-to-end slices: %.3fx over %d)", math.Exp(sliceLogSum/float64(slices)), slices)
+		}
+		fmt.Fprintln(h.out)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no records matched between %s and %s", h.cmpOld, h.cmpNew)
+	}
+	return nil
+}
+
+// readBenchFile loads a bench results JSON document.
+func readBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
 }

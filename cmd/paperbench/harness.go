@@ -35,9 +35,16 @@ type harness struct {
 
 	// benchJSON / benchCompare configure the bench experiment: the
 	// output path for the results JSON and an optional committed
-	// baseline to diff against (advisory).
+	// baseline to diff against (advisory). benchOnly restricts the grid
+	// to a comma-separated subset of config names (make bench-skew).
 	benchJSON    string
 	benchCompare string
+	benchOnly    string
+
+	// cmpOld / cmpNew are the two bench JSON files the benchcmp
+	// experiment diffs.
+	cmpOld string
+	cmpNew string
 
 	model    perfmodel.Model
 	modelOK  bool

@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fitlog, crossover, calibrate, bench, threshold")
+		exp        = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fitlog, crossover, calibrate, bench, benchcmp, threshold")
 		mode       = flag.String("mode", "model", "model (paper-testbed performance model) or measure (wall clock on this host)")
 		scale      = flag.Float64("scale", 0.3, "synthetic dataset scale (1 = benchmark size)")
 		rank       = flag.Int("rank", 16, "decomposition rank for table1")
@@ -44,6 +44,9 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchJSON  = flag.String("benchjson", "", "bench experiment: write results JSON to this file")
 		benchCmp   = flag.String("compare", "", "bench experiment: compare against this baseline JSON (advisory; warns on >10% regressions, never fails)")
+		benchOnly  = flag.String("benchconfigs", "", "bench experiment: comma-separated subset of configs to run (default all)")
+		cmpOld     = flag.String("old", "", "benchcmp experiment: older bench JSON")
+		cmpNew     = flag.String("new", "", "benchcmp experiment: newer bench JSON")
 		showVer    = flag.Bool("version", false, "print version/build information and exit")
 	)
 	flag.Parse()
@@ -93,6 +96,9 @@ func main() {
 		csvDir:       *csvDir,
 		benchJSON:    *benchJSON,
 		benchCompare: *benchCmp,
+		benchOnly:    *benchOnly,
+		cmpOld:       *cmpOld,
+		cmpNew:       *cmpNew,
 		out:          os.Stdout,
 	}
 	if err := h.validate(); err != nil {
@@ -115,6 +121,7 @@ func main() {
 		"crossover": h.crossover,
 		"calibrate": h.calibrate,
 		"bench":     h.bench,
+		"benchcmp":  h.benchcmpExp,
 		"threshold": h.threshold,
 	}
 	// bench and threshold are excluded from "all": they are host

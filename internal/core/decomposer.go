@@ -51,13 +51,26 @@ type Decomposer struct {
 
 	// MTTKRP kernel selection (see kernels.go): the pooled CSF engine
 	// (created on first use), the cost-model selector, the reusable slice
-	// profile + counting scratch it reads, and the per-mode kernel table
-	// resolved at every slice begin.
-	csfEng     *csf.Engine
-	sel        perfmodel.Selector
-	prof       perfmodel.SliceProfile
-	profCounts []int32
-	kernels    []kernelChoice
+	// profile it reads, and the per-mode kernel table resolved at every
+	// slice begin.
+	csfEng  *csf.Engine
+	sel     perfmodel.Selector
+	prof    perfmodel.SliceProfile
+	kernels []kernelChoice
+
+	// Adaptive memory layout (see kernels.go and perfmodel/layout.go):
+	// the stream-lifetime layout manager (lazily created when the
+	// policy allows it), the pooled profiler that folds each slice's
+	// row counts into its histograms, the pooled remapper, the compact
+	// profile of the remapped view, the gathered compact factors the
+	// remapped kernels read, and the last slice's resolved decision
+	// (for the tune/serve diagnostics and the determinism tests).
+	layout   *perfmodel.Layout
+	profiler perfmodel.Profiler
+	remapper mttkrp.Remapper
+	profNz   perfmodel.SliceProfile
+	aNzCur   []*dense.Matrix
+	lastDec  perfmodel.Decision
 
 	// Scratch K×K matrices reused across iterations.
 	muG, phiS, sPhi, scratch1, scratch2 *dense.Matrix

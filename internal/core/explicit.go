@@ -23,8 +23,14 @@ import (
 // MTTKRP dispatches to; plan is nil when no mode chose it, and the CSF
 // trees live in the Decomposer's pooled engine.
 type explicitRun struct {
-	x         *sptensor.Tensor
-	plan      *mttkrp.Plan
+	x    *sptensor.Tensor
+	plan *mttkrp.Plan
+	// rm, when non-nil, is the layout manager's compact renumbering of
+	// the slice (see beginKernelsLayout): the kernels run over rm.X and
+	// the gathered d.aNzCur factors, while d.a/d.psi stay in global row
+	// ids — the remapping is invisible outside the mode-update inner
+	// loop, so snapshots and checkpoints always see global rows.
+	rm        *mttkrp.Remapped
 	optimized bool
 	deltaPrev float64
 	res       SliceResult
@@ -81,8 +87,14 @@ func (d *Decomposer) beginExplicit(x *sptensor.Tensor) (*explicitRun, error) {
 			d.cPrev[m].CopyFrom(d.c[m])
 			d.h[m].CopyFrom(d.c[m])
 		}
-		run.plan = d.beginKernels(x)
-		err = d.solveS(x, d.a, !run.optimized)
+		run.plan, run.rm = d.beginKernelsLayout(x)
+		if run.rm != nil {
+			d.ensureNzPsi(run.rm)
+			d.ensureANzCur(run.rm)
+			err = d.solveS(run.rm.X, d.aNzCur, !run.optimized)
+		} else {
+			err = d.solveS(x, d.a, !run.optimized)
+		}
 	})
 	if err != nil {
 		return run, err
@@ -103,51 +115,132 @@ func (d *Decomposer) iterateExplicit(run *explicitRun) (bool, error) {
 	phi := d.scratch1
 	q := d.scratch2
 	for n := 0; n < d.n; n++ {
-		// Ψ⁽ⁿ⁾ = MTTKRP(Xₜ, {A}, n)·diag(sₜ) — the slice's time mode
-		// contributes the single Khatri-Rao row sₜ, which (all nonzeros
-		// sharing one time index) reduces to a column scaling of the
-		// N-way MTTKRP …
+		// Φ⁽ⁿ⁾ and its Cholesky factorization. Hoisted ahead of the Ψ
+		// work (on which it does not depend) so the remapped path can use
+		// the factor for its fused compact update below.
 		t0 := time.Now()
-		switch d.kernels[n] {
-		case kcCSF:
-			d.csfEng.MTTKRP(d.psi[n], d.a, n)
-		case kcPlan:
-			d.mt.PlanMTTKRP(d.psi[n], run.plan, d.a, n)
-		default:
-			d.mt.Lock(d.psi[n], run.x, d.a, n)
-		}
-		dense.ScaleColumns(d.psi[n], d.psi[n], d.s)
-		d.bd.Add(trace.MTTKRP, time.Since(t0))
-		// … + A⁽ⁿ⁾ₜ₋₁ ((⊛_{v≠n} H⁽ᵛ⁾) ⊛ µG): the "Historical" term, an
-		// Iₙ×K by K×K product against the full previous factor.
-		t0 = time.Now()
-		d.buildQ(q, n)
-		d.addMulAB(d.psi[n], d.prevA[n], q)
-		d.bd.Add(trace.Historical, time.Since(t0))
-		// Φ⁽ⁿ⁾ and its Cholesky factorization.
-		t0 = time.Now()
 		d.buildPhi(phi, n)
 		err := d.factorize(phi)
 		d.bd.Add(trace.Inverse, time.Since(t0))
 		if err != nil {
 			return false, fmt.Errorf("core: mode %d Φ factorization: %w", n, err)
 		}
-		// A⁽ⁿ⁾ update: direct solve (non-constrained) or ADMM.
+		// Ψ⁽ⁿ⁾ = MTTKRP(Xₜ, {A}, n)·diag(sₜ) — the slice's time mode
+		// contributes the single Khatri-Rao row sₜ, which (all nonzeros
+		// sharing one time index) reduces to a column scaling of the
+		// N-way MTTKRP …
 		t0 = time.Now()
-		if d.opt.Constraint == nil {
-			d.solveRows(d.a[n], d.psi[n], &d.chol)
-		} else if run.optimized {
-			st, e := d.solver.BlockedFused(d.a[n], phi, d.psi[n], d.opt.Constraint)
-			run.res.ADMMIters += st.Iters
-			err = e
+		if rm := run.rm; rm != nil && d.opt.Constraint == nil {
+			// Remapped path: the kernel runs over the compact slice and
+			// gathered factors into the |nz|×K Ψ_nz …
+			psiNz := d.nzPsi[n]
+			switch d.kernels[n] {
+			case kcCSF:
+				d.csfEng.MTTKRP(psiNz, d.aNzCur, n)
+			case kcPlan:
+				d.mt.PlanMTTKRP(psiNz, run.plan, d.aNzCur, n)
+			default:
+				d.mt.Lock(psiNz, rm.X, d.aNzCur, n)
+			}
+			d.bd.Add(trace.MTTKRP, time.Since(t0))
+			// … the historical term folds into the compact rows only:
+			// Ψ_nz ← Ψ_nz·diag(sₜ) + (A⁽ⁿ⁾ₜ₋₁)_nz·Q …
+			t0 = time.Now()
+			d.buildQ(q, n)
+			s := d.s
+			prev := d.prevA[n]
+			for r, g := range rm.NZ[n] {
+				dst := psiNz.Row(r)
+				for j := range dst {
+					dst[j] *= s[j]
+				}
+				for kk, av := range prev.Row(int(g)) {
+					if av == 0 {
+						continue
+					}
+					rb := q.Data[kk*q.Stride : kk*q.Stride+d.k]
+					for j, bv := range rb {
+						dst[j] += av * bv
+					}
+				}
+			}
+			d.bd.Add(trace.Historical, time.Since(t0))
+			// … and the full Iₙ×K Ψ is never materialized: the kernel
+			// output is zero off the nz rows, so Ψ_z = (A⁽ⁿ⁾ₜ₋₁·Q)_z and
+			// the z-row solves collapse into one K×K composition
+			// M = Q·Φ⁻¹ followed by a streaming product — the per-row
+			// triangular solves run only over the |nz| compact rows.
+			t0 = time.Now()
+			d.solveRows(psiNz, psiNz, &d.chol)
+			for i := 0; i < d.k; i++ {
+				d.chol.SolveVec(q.Row(i))
+			}
+			d.mulAB(d.a[n], d.prevA[n], q)
+			rm.ScatterMode(d.a[n], psiNz, n)
+			d.bd.Add(trace.Update, time.Since(t0))
+		} else if rm != nil {
+			// Constrained remap: ADMM needs the full-row Ψ, so build it
+			// as overwrite-plus-scatter (still no Iₙ×K zero fill).
+			psiNz := d.nzPsi[n]
+			switch d.kernels[n] {
+			case kcCSF:
+				d.csfEng.MTTKRP(psiNz, d.aNzCur, n)
+			case kcPlan:
+				d.mt.PlanMTTKRP(psiNz, run.plan, d.aNzCur, n)
+			default:
+				d.mt.Lock(psiNz, rm.X, d.aNzCur, n)
+			}
+			d.bd.Add(trace.MTTKRP, time.Since(t0))
+			t0 = time.Now()
+			d.buildQ(q, n)
+			d.mulAB(d.psi[n], d.prevA[n], q)
+			s := d.s
+			for r, g := range rm.NZ[n] {
+				dst := d.psi[n].Row(int(g))
+				src := psiNz.Row(r)
+				for j, v := range src {
+					dst[j] += v * s[j]
+				}
+			}
+			d.bd.Add(trace.Historical, time.Since(t0))
 		} else {
-			st, e := d.solver.Baseline(d.a[n], phi, d.psi[n], d.opt.Constraint)
-			run.res.ADMMIters += st.Iters
-			err = e
+			switch d.kernels[n] {
+			case kcCSF:
+				d.csfEng.MTTKRP(d.psi[n], d.a, n)
+			case kcPlan:
+				d.mt.PlanMTTKRP(d.psi[n], run.plan, d.a, n)
+			default:
+				d.mt.Lock(d.psi[n], run.x, d.a, n)
+			}
+			dense.ScaleColumns(d.psi[n], d.psi[n], d.s)
+			d.bd.Add(trace.MTTKRP, time.Since(t0))
+			// … + A⁽ⁿ⁾ₜ₋₁ ((⊛_{v≠n} H⁽ᵛ⁾) ⊛ µG): the "Historical" term,
+			// an Iₙ×K by K×K product against the full previous factor.
+			t0 = time.Now()
+			d.buildQ(q, n)
+			d.addMulAB(d.psi[n], d.prevA[n], q)
+			d.bd.Add(trace.Historical, time.Since(t0))
 		}
-		d.bd.Add(trace.Update, time.Since(t0))
-		if err != nil {
-			return false, fmt.Errorf("core: mode %d ADMM: %w", n, err)
+		// A⁽ⁿ⁾ update for the paths that materialized the full Ψ: direct
+		// solve (non-constrained) or ADMM. The fused remap path already
+		// updated A⁽ⁿ⁾ above.
+		if run.rm == nil || d.opt.Constraint != nil {
+			t0 = time.Now()
+			if d.opt.Constraint == nil {
+				d.solveRows(d.a[n], d.psi[n], &d.chol)
+			} else if run.optimized {
+				st, e := d.solver.BlockedFused(d.a[n], phi, d.psi[n], d.opt.Constraint)
+				run.res.ADMMIters += st.Iters
+				err = e
+			} else {
+				st, e := d.solver.Baseline(d.a[n], phi, d.psi[n], d.opt.Constraint)
+				run.res.ADMMIters += st.Iters
+				err = e
+			}
+			d.bd.Add(trace.Update, time.Since(t0))
+			if err != nil {
+				return false, fmt.Errorf("core: mode %d ADMM: %w", n, err)
+			}
 		}
 		// Refresh the Gram matrices used by the other modes. The C⁽ⁿ⁾
 		// refresh is "Gram" work; the H⁽ⁿ⁾ cross-Gram against A⁽ⁿ⁾ₜ₋₁ is
@@ -163,12 +256,24 @@ func (d *Decomposer) iterateExplicit(run *explicitRun) (bool, error) {
 			d.normalizeModeExplicit(n)
 			d.bd.Add(trace.Misc, time.Since(t0))
 		}
+		if run.rm != nil {
+			// Refresh the mode's compact gather so the remaining modes'
+			// kernels (and the time-mode solve) read the updated rows.
+			t0 = time.Now()
+			run.rm.GatherMode(d.aNzCur[n], d.a[n], n)
+			d.bd.Add(trace.Misc, time.Since(t0))
+		}
 	}
 	// Time-mode ALS block: refresh sₜ against the updated factors (the
 	// single-row MTTKRP that motivates the Hybrid Lock kernel) and with
 	// it the µG + ssᵀ Hadamard operand.
 	t0 := time.Now()
-	err := d.solveS(run.x, d.a, !run.optimized)
+	var err error
+	if run.rm != nil {
+		err = d.solveS(run.rm.X, d.aNzCur, !run.optimized)
+	} else {
+		err = d.solveS(run.x, d.a, !run.optimized)
+	}
 	d.bd.Add(trace.MTTKRP, time.Since(t0))
 	if err != nil {
 		return false, err
@@ -211,6 +316,57 @@ func (d *Decomposer) ensurePsi() {
 	d.psi = make([]*dense.Matrix, d.n)
 	for m, dim := range d.dims {
 		d.psi[m] = dense.NewMatrix(dim, d.k)
+	}
+}
+
+// ensureANzCur sizes the per-mode gathered compact factors A_nz to the
+// remapped slice's nz row counts (reallocating only modes whose count
+// changed) and fills them from the current factors.
+func (d *Decomposer) ensureANzCur(rm *mttkrp.Remapped) {
+	if d.aNzCur == nil {
+		d.aNzCur = make([]*dense.Matrix, d.n)
+	}
+	for m := range d.aNzCur {
+		rows := len(rm.NZ[m])
+		if d.aNzCur[m] == nil || d.aNzCur[m].Rows != rows || d.aNzCur[m].Cols != d.k {
+			d.aNzCur[m] = dense.NewMatrix(rows, d.k)
+		}
+	}
+	rm.GatherFactorsInto(d.aNzCur, d.a)
+}
+
+// mulAB computes dst = a·b (full overwrite — the write variant of
+// addMulAB) with the row dimension parallelized (a: I×K, b: K×K,
+// dst: I×K). Allocation-free via the Decomposer-owned argument block.
+func (d *Decomposer) mulAB(dst, a, b *dense.Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("core: mulAB shape mismatch")
+	}
+	pa := &d.pargs
+	pa.dst, pa.a, pa.b = dst, a, b
+	d.pool.Do(a.Rows, d.opt.Workers, pa, mulABBody)
+	*pa = coreArgs{}
+}
+
+func mulABBody(ctx any, _ int, r parallel.Range) {
+	pa := ctx.(*coreArgs)
+	a, b, dst := pa.a, pa.b, pa.dst
+	n := b.Cols
+	for i := r.Lo; i < r.Hi; i++ {
+		ra := a.Row(i)
+		rd := dst.Row(i)[:n]
+		for j := range rd {
+			rd[j] = 0
+		}
+		for kk, av := range ra {
+			if av == 0 {
+				continue
+			}
+			rb := b.Data[kk*b.Stride : kk*b.Stride+n]
+			for j, bv := range rb {
+				rd[j] += av * bv
+			}
+		}
 	}
 }
 

@@ -50,11 +50,31 @@ func (d *Decomposer) selectorAmortIters() int {
 	return it
 }
 
-// chooseKernels fills d.kernels with one choice per mode of x and
-// reports which compiled layouts the slice needs. x is the tensor the
-// kernels will run over (the remapped slice for spCP-stream).
-func (d *Decomposer) chooseKernels(x *sptensor.Tensor) (needPlan, needCSF bool) {
-	n := x.NModes()
+// layoutActive reports whether the adaptive layout manager runs: it
+// rides the Auto cost-model path of the optimized algorithms (forced
+// kernel policies pin the whole layout so kernel benchmarks stay
+// apples-to-apples) and can be switched off via Options.Layout.
+func (d *Decomposer) layoutActive() bool {
+	return d.opt.Layout != LayoutOff &&
+		d.opt.Algorithm != Baseline &&
+		d.kernelPolicy() == KernelAuto
+}
+
+// ensureLayout lazily creates the stream-lifetime layout manager.
+func (d *Decomposer) ensureLayout() *perfmodel.Layout {
+	if d.layout == nil {
+		d.layout = perfmodel.NewLayout(perfmodel.DefaultLayoutParams(), d.dims)
+	}
+	return d.layout
+}
+
+// chooseKernelsFrom fills d.kernels (one choice per mode) from an
+// already-measured profile (ignored under forced policies) and reports
+// which compiled layouts the slice needs. Under KernelAuto the
+// selection is a pure function of (profile, rank, options) — the
+// profile of the view the kernels will actually run over, so the cost
+// model sees the remapped shape when the layout manager remapped.
+func (d *Decomposer) chooseKernelsFrom(n int, prof *perfmodel.SliceProfile) (needPlan, needCSF bool) {
 	if cap(d.kernels) < n {
 		d.kernels = make([]kernelChoice, n)
 	}
@@ -73,10 +93,9 @@ func (d *Decomposer) chooseKernels(x *sptensor.Tensor) (needPlan, needCSF bool) 
 			d.kernels[m] = kcCSF
 		}
 	default: // KernelAuto
-		d.profCounts = perfmodel.ProfileInto(&d.prof, x, d.profCounts)
 		amort := d.selectorAmortIters()
 		for m := range d.kernels {
-			if d.sel.SelectMTTKRP(d.prof, m, d.k, amort) == perfmodel.MTTKRPCSF {
+			if d.sel.SelectMTTKRPEx(*prof, m, d.k, amort, prof.Sorted) == perfmodel.MTTKRPCSF {
 				d.kernels[m] = kcCSF
 			} else {
 				d.kernels[m] = kcPlan
@@ -94,6 +113,16 @@ func (d *Decomposer) chooseKernels(x *sptensor.Tensor) (needPlan, needCSF bool) 
 	return needPlan, needCSF
 }
 
+// chooseKernels profiles x (under Auto) and resolves the kernel table —
+// the single-tensor path used by spCP-stream, forced policies, and the
+// selection tests.
+func (d *Decomposer) chooseKernels(x *sptensor.Tensor) (needPlan, needCSF bool) {
+	if d.kernelPolicy() == KernelAuto {
+		d.profiler.Profile(&d.prof, x, nil, d.t)
+	}
+	return d.chooseKernelsFrom(x.NModes(), &d.prof)
+}
+
 // ensureEngine lazily creates the CSF engine on the Decomposer's pool.
 func (d *Decomposer) ensureEngine() *csf.Engine {
 	if d.csfEng == nil {
@@ -102,16 +131,20 @@ func (d *Decomposer) ensureEngine() *csf.Engine {
 	return d.csfEng
 }
 
-// beginKernels resolves the kernel table for slice x and compiles the
-// layouts it needs: CSF trees for the CSF modes (built eagerly so the
-// cost lands in the Pre phase, not the first iteration) and the
-// coordinate plan for the plan modes. Returns the plan (nil when no
-// mode uses it).
-func (d *Decomposer) beginKernels(x *sptensor.Tensor) *mttkrp.Plan {
-	needPlan, needCSF := d.chooseKernels(x)
+// compileKernels compiles the layouts the resolved kernel table needs
+// over kx: CSF trees for the CSF modes (built eagerly so the cost lands
+// in the Pre phase, not the first iteration) and the coordinate plan
+// for the plan modes. Returns the plan (nil when no mode uses it).
+// hintSorted passes the sorted-base claim to the CSF engine, unlocking
+// its reduced-pass builds (the engine verifies the claim itself, so an
+// optimistic hint is safe).
+func (d *Decomposer) compileKernels(kx *sptensor.Tensor, needPlan, needCSF, hintSorted bool) *mttkrp.Plan {
 	if needCSF {
 		eng := d.ensureEngine()
-		eng.Begin(x)
+		eng.Begin(kx)
+		if hintSorted {
+			eng.SetSortedBase()
+		}
 		for m, kc := range d.kernels {
 			if kc == kcCSF {
 				eng.Build(m)
@@ -122,13 +155,75 @@ func (d *Decomposer) beginKernels(x *sptensor.Tensor) *mttkrp.Plan {
 		return nil
 	}
 	if allPlan(d.kernels) {
-		return d.mt.NewPlan(x)
+		return d.mt.NewPlan(kx)
 	}
 	need := make([]bool, len(d.kernels))
 	for m, kc := range d.kernels {
 		need[m] = kc == kcPlan
 	}
-	return d.mt.NewPlanFor(x, need)
+	return d.mt.NewPlanFor(kx, need)
+}
+
+// beginKernels resolves the kernel table for slice x and compiles the
+// layouts it needs. Forced policies skip profiling, so the sorted-base
+// hint is passed optimistically (slices arrive Coalesce-sorted in
+// every production path; the engine's own verification catches the
+// rest).
+func (d *Decomposer) beginKernels(x *sptensor.Tensor) *mttkrp.Plan {
+	auto := d.kernelPolicy() == KernelAuto
+	needPlan, needCSF := d.chooseKernels(x)
+	return d.compileKernels(x, needPlan, needCSF, !auto || d.prof.Sorted)
+}
+
+// beginKernelsLayout is beginKernels for the explicit path with the
+// adaptive layout manager in the loop: profile the global slice (the
+// same counting pass folds the per-row histograms), ask the layout
+// manager whether remapping pays off, remap through the pooled
+// remapper when it does, and select kernels over the profile of
+// whichever view the inner loop will run on. Returns the compiled plan
+// and the remapped view (nil when the slice runs in place).
+func (d *Decomposer) beginKernelsLayout(x *sptensor.Tensor) (*mttkrp.Plan, *mttkrp.Remapped) {
+	if d.kernelPolicy() != KernelAuto {
+		d.lastDec = perfmodel.Decision{}
+		needPlan, needCSF := d.chooseKernelsFrom(x.NModes(), &d.prof)
+		return d.compileKernels(x, needPlan, needCSF, true), nil
+	}
+	var lay *perfmodel.Layout
+	if d.layoutActive() {
+		lay = d.ensureLayout()
+	}
+	d.profiler.Profile(&d.prof, x, lay, d.t)
+	dec := lay.Decide(d.prof, d.k, d.selectorAmortIters())
+	d.lastDec = dec
+	if !dec.Remap {
+		needPlan, needCSF := d.chooseKernelsFrom(x.NModes(), &d.prof)
+		return d.compileKernels(x, needPlan, needCSF, d.prof.Sorted), nil
+	}
+	rm := d.remapper.Begin(x, dec.HotFirst)
+	d.compactProfile(rm, dec.HotFirst != nil)
+	needPlan, needCSF := d.chooseKernelsFrom(x.NModes(), &d.profNz)
+	return d.compileKernels(rm.X, needPlan, needCSF, d.profNz.Sorted), rm
+}
+
+// compactProfile derives the remapped view's profile from the global
+// one without a second counting pass: mode m's index space collapses
+// to its nz-row count (every local row is nonzero by construction),
+// nonzero counts and distinct-pair counts are invariant under the
+// per-mode renumbering, and ascending-id remapping preserves storage
+// order (hot-first does not).
+func (d *Decomposer) compactProfile(rm *mttkrp.Remapped, hot bool) {
+	p := &d.profNz
+	p.NNZ = d.prof.NNZ
+	if cap(p.Modes) < len(d.prof.Modes) {
+		p.Modes = make([]perfmodel.ModeProfile, len(d.prof.Modes))
+	}
+	p.Modes = p.Modes[:len(d.prof.Modes)]
+	for m, mp := range d.prof.Modes {
+		nz := len(rm.NZ[m])
+		p.Modes[m] = perfmodel.ModeProfile{Dim: nz, NZRows: nz, TopRowFrac: mp.TopRowFrac}
+	}
+	p.Sorted = d.prof.Sorted && !hot
+	p.Pair01 = d.prof.Pair01
 }
 
 func allPlan(ks []kernelChoice) bool {

@@ -95,6 +95,42 @@ func (k MTTKRPKernel) String() string {
 	}
 }
 
+// LayoutPolicy selects the adaptive memory-layout manager (see
+// perfmodel.Layout): per-mode decayed hot-row histograms learned across
+// slices, and a per-slice cost-model decision to renumber the slice
+// into its compact nz-row index space (optionally hot-first) before the
+// inner iterations run.
+type LayoutPolicy int
+
+const (
+	// LayoutDefault enables adaptive layout whenever the kernel policy
+	// resolves to Auto on the optimized algorithms (it rides the same
+	// slice profile the kernel selector reads, so it costs nothing
+	// extra to keep on).
+	LayoutDefault LayoutPolicy = iota
+	// LayoutAuto is LayoutDefault spelled explicitly.
+	LayoutAuto
+	// LayoutOff disables remapping and layout learning; slices run in
+	// stream order over the full index space (the pre-layout behavior,
+	// and the apples-to-apples baseline the bench suite compares
+	// against).
+	LayoutOff
+)
+
+// String names the layout policy.
+func (l LayoutPolicy) String() string {
+	switch l {
+	case LayoutDefault:
+		return "default"
+	case LayoutAuto:
+		return "auto"
+	case LayoutOff:
+		return "off"
+	default:
+		return fmt.Sprintf("LayoutPolicy(%d)", int(l))
+	}
+}
+
 // Options configure a Decomposer. Zero values select the paper's
 // defaults where one exists.
 type Options struct {
@@ -144,6 +180,12 @@ type Options struct {
 	// the cost-model Auto selection for Optimized and SpCPStream.
 	// Adjustable between slices via Decomposer.SetMTTKRPKernel.
 	MTTKRPKernel MTTKRPKernel
+	// Layout selects the adaptive memory-layout manager; see the
+	// LayoutPolicy constants. Only consulted when the kernel policy
+	// resolves to Auto (forced kernel policies pin the whole layout for
+	// reproducible kernel benchmarking). Adjustable between slices via
+	// Decomposer.SetLayoutPolicy.
+	Layout LayoutPolicy
 	// CSFMTTKRP is the legacy switch for the Compressed Sparse Fiber
 	// MTTKRP (SPLATT's format, related work [15]); it is equivalent to
 	// MTTKRPKernel: KernelCSF and kept for compatibility. The fiber
@@ -223,6 +265,9 @@ func (o Options) Validate(dims []int) error {
 	}
 	if o.MTTKRPKernel < KernelDefault || o.MTTKRPKernel > KernelLock {
 		return fmt.Errorf("core: unknown MTTKRPKernel %d", int(o.MTTKRPKernel))
+	}
+	if o.Layout < LayoutDefault || o.Layout > LayoutOff {
+		return fmt.Errorf("core: unknown LayoutPolicy %d", int(o.Layout))
 	}
 	if o.Algorithm == SpCPStream && o.Constraint != nil {
 		if !o.ConstrainedSpCP {

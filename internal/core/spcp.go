@@ -76,7 +76,10 @@ func (d *Decomposer) beginSpCP(x *sptensor.Tensor) (*spcpRun, error) {
 	}
 	var err error
 	d.bd.Time(trace.Pre, func() {
-		run.rm = mttkrp.Remap(x)
+		// Pooled remap (ascending local ids — spCP's incremental C_z
+		// bookkeeping relies on sorted NZ sets): the dense LUT scratch,
+		// NZ lists, and index columns are reused across slices.
+		run.rm = d.remapper.Begin(x, nil)
 		rm := run.rm
 		if d.prevNZ == nil || d.opt.DirectCz {
 			// First slice (or the DirectCz ablation): C_z,t−1 =
@@ -269,7 +272,12 @@ func (d *Decomposer) finishSpCP(run *spcpRun) SliceResult {
 		if d.prevNZ == nil {
 			d.prevNZ = make([][]int32, d.n)
 		}
-		copy(d.prevNZ, rm.NZ)
+		// Deep copy: the pooled remapper reuses rm.NZ's storage on the
+		// next Begin, so aliasing it here would corrupt the incremental
+		// C_z bookkeeping of the following slice.
+		for m := range rm.NZ {
+			d.prevNZ[m] = append(d.prevNZ[m][:0], rm.NZ[m]...)
+		}
 	})
 	if d.opt.TrackFit {
 		d.bd.Time(trace.Misc, func() { run.res.Fit = d.sliceFit(run.x) })

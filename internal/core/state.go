@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"spstream/internal/dense"
+	"spstream/internal/perfmodel"
 )
 
 // Checkpointing: a Decomposer's streaming state can be serialized
@@ -18,14 +19,22 @@ import (
 // the temporal Gram G, the temporal history S, the slice counter, and
 // (for spCP-stream) the previous nz sets and z-row Grams.
 //
-// Format v2 (SPSTRM02) appends a CRC32 (IEEE) footer covering the magic
-// and the payload, so a checkpoint truncated or bit-flipped at rest is
-// rejected instead of restoring silently wrong state. v1 (SPSTRM01)
-// checkpoints — the same payload without the footer — still restore.
+// Format v3 (SPSTRM03) adds the adaptive-layout state — the per-mode
+// decayed row histograms, the learned hot-first permutations, and the
+// fold/rebuild counters — so a restored stream replays the identical
+// kernel+layout schedule (layout decisions are a pure function of
+// profile, layout state, and options). Like v2 it carries a CRC32
+// (IEEE) footer covering the magic and the payload, so a checkpoint
+// truncated or bit-flipped at rest is rejected instead of restoring
+// silently wrong state. v2 (SPSTRM02, no layout section) and v1
+// (SPSTRM01, no layout, no footer) checkpoints still restore — the
+// layout manager then restarts cold, which only costs a few slices of
+// histogram warm-up.
 
 // stateMagic identifies the checkpoint container and its version.
 var (
-	stateMagic   = [8]byte{'S', 'P', 'S', 'T', 'R', 'M', '0', '2'}
+	stateMagic   = [8]byte{'S', 'P', 'S', 'T', 'R', 'M', '0', '3'}
+	stateMagicV2 = [8]byte{'S', 'P', 'S', 'T', 'R', 'M', '0', '2'}
 	stateMagicV1 = [8]byte{'S', 'P', 'S', 'T', 'R', 'M', '0', '1'}
 )
 
@@ -124,6 +133,59 @@ func (d *Decomposer) SaveState(w io.Writer) error {
 			}
 		}
 	}
+	// Adaptive-layout state (v3): presence flag, fold/rebuild counters,
+	// then per mode the decayed histogram, its running sum, the rebuild
+	// bookkeeping, and (flagged) the learned permutation. The derived
+	// inverse Rank is reconstructed on restore, not serialized.
+	if d.layout == nil {
+		if err := writeU64(0); err != nil {
+			return err
+		}
+	} else {
+		if err := writeU64(1); err != nil {
+			return err
+		}
+		lay := d.layout
+		if err := writeU64(uint64(lay.Epoch)); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, int64(lay.FoldedT)); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(lay.Rebuilds)); err != nil {
+			return err
+		}
+		for m := range lay.Modes {
+			st := &lay.Modes[m]
+			if err := binary.Write(cw, binary.LittleEndian, st.Hist); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, st.Tot); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, int64(st.RebuildEpoch)); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, st.CoverAtRebuild); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, st.Cover); err != nil {
+				return err
+			}
+			if st.Perm == nil {
+				if err := writeU64(0); err != nil {
+					return err
+				}
+			} else {
+				if err := writeU64(1); err != nil {
+					return err
+				}
+				if err := binary.Write(cw, binary.LittleEndian, st.Perm); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	// CRC footer over magic + payload (not hashed itself).
 	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
 		return err
@@ -146,12 +208,13 @@ func (d *Decomposer) RestoreState(r io.Reader) error {
 	if _, err := io.ReadFull(cr, magic[:]); err != nil {
 		return fmt.Errorf("core: reading checkpoint magic: %w", err)
 	}
-	var withCRC bool
+	var withCRC, withLayout bool
 	switch magic {
 	case stateMagic:
+		withCRC, withLayout = true, true
+	case stateMagicV2:
 		withCRC = true
 	case stateMagicV1:
-		withCRC = false
 	default:
 		return fmt.Errorf("core: bad checkpoint magic %q", magic)
 	}
@@ -248,6 +311,76 @@ func (d *Decomposer) RestoreState(r io.Reader) error {
 	default:
 		return fmt.Errorf("core: checkpoint nz presence flag %d is not 0 or 1", hasNZ)
 	}
+	var layout *perfmodel.Layout
+	if withLayout {
+		hasLayout, err := readU64()
+		if err != nil {
+			return err
+		}
+		switch hasLayout {
+		case 0:
+		case 1:
+			lay := perfmodel.NewLayout(perfmodel.DefaultLayoutParams(), d.dims)
+			epoch, err := readU64()
+			if err != nil {
+				return err
+			}
+			lay.Epoch = int(epoch)
+			var foldedT int64
+			if err := binary.Read(cr, binary.LittleEndian, &foldedT); err != nil {
+				return err
+			}
+			lay.FoldedT = int(foldedT)
+			rebuilds, err := readU64()
+			if err != nil {
+				return err
+			}
+			lay.Rebuilds = int(rebuilds)
+			for m := range lay.Modes {
+				st := &lay.Modes[m]
+				if err := binary.Read(cr, binary.LittleEndian, st.Hist); err != nil {
+					return err
+				}
+				if err := binary.Read(cr, binary.LittleEndian, &st.Tot); err != nil {
+					return err
+				}
+				var rbEpoch int64
+				if err := binary.Read(cr, binary.LittleEndian, &rbEpoch); err != nil {
+					return err
+				}
+				st.RebuildEpoch = int(rbEpoch)
+				if err := binary.Read(cr, binary.LittleEndian, &st.CoverAtRebuild); err != nil {
+					return err
+				}
+				if err := binary.Read(cr, binary.LittleEndian, &st.Cover); err != nil {
+					return err
+				}
+				hasPerm, err := readU64()
+				if err != nil {
+					return err
+				}
+				switch hasPerm {
+				case 0:
+				case 1:
+					st.Perm = make([]int32, d.dims[m])
+					if err := binary.Read(cr, binary.LittleEndian, st.Perm); err != nil {
+						return err
+					}
+					for _, g := range st.Perm {
+						if g < 0 || int(g) >= d.dims[m] {
+							return fmt.Errorf("core: checkpoint layout perm of mode %d has out-of-range row %d", m, g)
+						}
+					}
+				default:
+					return fmt.Errorf("core: checkpoint perm presence flag %d is not 0 or 1", hasPerm)
+				}
+			}
+			lay.RebuildRanks()
+			layout = lay
+		default:
+			return fmt.Errorf("core: checkpoint layout presence flag %d is not 0 or 1", hasLayout)
+		}
+	}
 	if withCRC {
 		sum := cr.crc // everything hashed so far: magic + payload
 		var footer uint32
@@ -260,6 +393,7 @@ func (d *Decomposer) RestoreState(r io.Reader) error {
 	}
 	d.sHist = sHist
 	d.prevNZ = prevNZ
+	d.layout = layout
 	d.t = int(t)
 	return nil
 }

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"spstream/internal/perfmodel"
+)
 
 // This file is the runtime tuning surface the lag-aware degradation
 // controller (internal/ingest) drives: the knobs that trade model
@@ -78,6 +82,60 @@ func (d *Decomposer) SetMTTKRPKernel(k MTTKRPKernel) error {
 	}
 	d.opt.MTTKRPKernel = k
 	return nil
+}
+
+// LayoutPolicy returns the current adaptive-layout policy.
+func (d *Decomposer) LayoutPolicy() LayoutPolicy { return d.opt.Layout }
+
+// SetLayoutPolicy overrides the adaptive-layout policy for subsequent
+// slices. LayoutOff freezes remapping and histogram learning (the
+// learned state is kept, so re-enabling resumes where it left off);
+// LayoutDefault/LayoutAuto re-enable it. The switch is exact in the
+// same sense as SetMTTKRPKernel: every layout computes the same
+// updates, only memory order (and hence rounding order) differs.
+// Unknown values return an error and leave the policy unchanged.
+func (d *Decomposer) SetLayoutPolicy(l LayoutPolicy) error {
+	if l < LayoutDefault || l > LayoutOff {
+		return fmt.Errorf("core: unknown LayoutPolicy %d", int(l))
+	}
+	d.opt.Layout = l
+	return nil
+}
+
+// LayoutStats summarizes the adaptive layout manager (zero value until
+// the first slice profiles under an active layout policy).
+func (d *Decomposer) LayoutStats() perfmodel.LayoutStats { return d.layout.Stats() }
+
+// LastLayoutDecision reports the layout verdict of the most recent
+// slice begin: whether the slice was renumbered into its compact
+// nz-row space, and whether any mode used the learned hot-first order.
+// Diagnostics surface for serve and the determinism tests.
+func (d *Decomposer) LastLayoutDecision() (remapped, hotFirst bool) {
+	remapped = d.lastDec.Remap
+	for _, p := range d.lastDec.HotFirst {
+		if p != nil {
+			hotFirst = true
+		}
+	}
+	return remapped, hotFirst
+}
+
+// KernelSchedule appends the current per-mode kernel table (resolved
+// at the last slice begin) to dst as one letter per mode — "P"lan,
+// "C"SF, "L"ock — the compact schedule string the determinism tests
+// compare across checkpoint restores.
+func (d *Decomposer) KernelSchedule(dst []byte) []byte {
+	for _, kc := range d.kernels {
+		switch kc {
+		case kcPlan:
+			dst = append(dst, 'P')
+		case kcCSF:
+			dst = append(dst, 'C')
+		default:
+			dst = append(dst, 'L')
+		}
+	}
+	return dst
 }
 
 // NoteOverload folds the ingestion pipeline's overload counters into

@@ -1,0 +1,188 @@
+package csf
+
+import (
+	"testing"
+
+	"spstream/internal/dense"
+	"spstream/internal/mttkrp"
+	"spstream/internal/parallel"
+	"spstream/internal/sptensor"
+)
+
+// TestSortedBaseMatchesRadix: for a coalesced (strictly lex-sorted)
+// slice, the sorted-base fast build must produce the same MTTKRP as both
+// the full radix build and the reference kernel, for every root mode.
+// The two builds may order levels differently (ModeOrderBase vs the
+// shortest-first ModeOrder), so the comparison is tolerance-bounded;
+// repeated calls on the hinted engine must still be bit-identical.
+func TestSortedBaseMatchesRadix(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dims []int
+		nnz  int
+	}{
+		{"3way", []int{12, 30, 25}, 700},
+		{"2way", []int{20, 35}, 250},
+		{"4way", []int{7, 11, 5, 9}, 600},
+		{"single-root", []int{1, 40, 30}, 300},
+		{"empty", []int{10, 12, 8}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x := randomSlice(31, tc.dims, tc.nnz)
+			k := 5
+			factors := randomFactors(32, tc.dims, k)
+
+			radix := NewEngine(2)
+			radix.Begin(x)
+			fast := NewEngine(2)
+			fast.Begin(x)
+			fast.SetSortedBase()
+
+			for mode := range tc.dims {
+				want := dense.NewMatrix(tc.dims[mode], k)
+				mttkrp.Sequential(want, x, factors, mode)
+				slow := dense.NewMatrix(tc.dims[mode], k)
+				radix.MTTKRP(slow, factors, mode)
+				got := dense.NewMatrix(tc.dims[mode], k)
+				fast.MTTKRP(got, factors, mode)
+				scale := float64(tc.nnz + 1)
+				if d := maxAbsDiff(got, want); d > 1e-12*scale {
+					t.Fatalf("mode %d: sorted build differs from Sequential by %g", mode, d)
+				}
+				if d := maxAbsDiff(got, slow); d > 1e-12*scale {
+					t.Fatalf("mode %d: sorted build differs from radix build by %g", mode, d)
+				}
+				again := dense.NewMatrix(tc.dims[mode], k)
+				fast.MTTKRP(again, factors, mode)
+				for i, v := range again.Data {
+					if v != got.Data[i] {
+						t.Fatalf("mode %d: hinted engine not bit-identical across calls", mode)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSortedBaseSortPasses: the whole point of the fast path — a
+// verified sorted slice needs zero counting-sort passes for the root-0
+// tree and exactly one for any other root, versus one per mode on the
+// radix path.
+func TestSortedBaseSortPasses(t *testing.T) {
+	dims := []int{12, 30, 25}
+	x := randomSlice(33, dims, 700)
+
+	eng := NewEngine(1)
+	eng.Begin(x)
+	eng.SetSortedBase()
+	for mode := range dims {
+		eng.Build(mode)
+		want := 1
+		if mode == 0 {
+			want = 0
+		}
+		if got := eng.TreeStats(mode).SortPasses; got != want {
+			t.Fatalf("mode %d: SortPasses = %d, want %d", mode, got, want)
+		}
+	}
+
+	eng.Begin(x) // hint cleared by Begin
+	eng.Build(0)
+	if got := eng.TreeStats(0).SortPasses; got != len(dims) {
+		t.Fatalf("unhinted build: SortPasses = %d, want %d", got, len(dims))
+	}
+}
+
+// TestSortedBaseHintRefuted: a wrong hint must cost only the O(nnz)
+// verification scan — the build silently falls back to the radix path
+// and stays correct. Covers the two ways a slice can refute the claim:
+// out-of-order coordinates, and duplicates (sorted but not strictly,
+// which would break the bulk leaf fill).
+func TestSortedBaseHintRefuted(t *testing.T) {
+	k := 4
+	t.Run("unsorted", func(t *testing.T) {
+		dims := []int{10, 14, 9}
+		x := rawSlice(51, dims, 300) // append order, never coalesced
+		factors := randomFactors(52, dims, k)
+		eng := NewEngine(2)
+		eng.Begin(x)
+		eng.SetSortedBase()
+		for mode := range dims {
+			got := dense.NewMatrix(dims[mode], k)
+			eng.MTTKRP(got, factors, mode)
+			if got2 := eng.TreeStats(mode).SortPasses; got2 != len(dims) {
+				t.Fatalf("mode %d: refuted hint should radix-sort (%d passes), got %d", mode, len(dims), got2)
+			}
+			want := dense.NewMatrix(dims[mode], k)
+			mttkrp.Sequential(want, x, factors, mode)
+			if d := maxAbsDiff(got, want); d > 1e-9 {
+				t.Fatalf("mode %d: refuted-hint result differs by %g", mode, d)
+			}
+		}
+	})
+	t.Run("duplicates", func(t *testing.T) {
+		// Lex-sorted storage with a duplicated coordinate: sorted, but
+		// not strictly — the fast path's identity leaf Ptr would merge
+		// nothing, so the hint must be refuted.
+		x := sptensor.New(5, 6)
+		x.Append([]int32{0, 1}, 1)
+		x.Append([]int32{0, 1}, 2)
+		x.Append([]int32{2, 3}, 3)
+		x.Append([]int32{4, 5}, 4)
+		factors := randomFactors(53, []int{5, 6}, k)
+		eng := NewEngine(1)
+		eng.Begin(x)
+		eng.SetSortedBase()
+		got := dense.NewMatrix(5, k)
+		eng.MTTKRP(got, factors, 0)
+		if got2 := eng.TreeStats(0).SortPasses; got2 != 2 {
+			t.Fatalf("duplicate coords must refute the hint: SortPasses = %d, want 2", got2)
+		}
+		want := dense.NewMatrix(5, k)
+		mttkrp.Sequential(want, x, factors, 0)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("duplicate-refuted result differs by %g", d)
+		}
+	})
+}
+
+// TestSortedBaseZeroAllocSteadyState extends the engine's zero-alloc
+// guarantee to the sorted fast path: Begin + SetSortedBase + build +
+// MTTKRP cycles allocate nothing once warm.
+func TestSortedBaseZeroAllocSteadyState(t *testing.T) {
+	dims := []int{2, 150, 200}
+	slices := []*sptensor.Tensor{
+		randomSlice(61, dims, 15000),
+		randomSlice(62, dims, 14000),
+	}
+	k := 8
+	factors := randomFactors(63, dims, k)
+	outs := make([]*dense.Matrix, len(dims))
+	for m := range dims {
+		outs[m] = dense.NewMatrix(dims[m], k)
+	}
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	eng := NewEngineWithPool(2, pool)
+	cycle := func(x *sptensor.Tensor) {
+		eng.Begin(x)
+		eng.SetSortedBase()
+		for m := range dims {
+			eng.Build(m)
+		}
+		for m := range dims {
+			eng.MTTKRP(outs[m], factors, m)
+		}
+	}
+	for _, x := range slices {
+		cycle(x)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(10, func() {
+		cycle(slices[i%len(slices)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("sorted-base steady-state cycle allocates %v times", allocs)
+	}
+}

@@ -22,34 +22,117 @@ type Remapped struct {
 	NZ [][]int32
 }
 
-// Remap builds the local-index view of a slice. Cost is O(nnz·N) plus a
-// sort of each nz set.
+// Remap builds the local-index view of a slice. Cost is O(nnz·N) plus
+// an O(dim) id-assignment scan per mode. Convenience wrapper over a
+// throwaway Remapper; streaming callers hold a Remapper so the dense
+// scratch (and the result's storage) is reused across slices.
 func Remap(x *sptensor.Tensor) *Remapped {
+	var r Remapper
+	return r.Begin(x, nil)
+}
+
+// Remapper builds Remapped views with pooled storage: a dense
+// global→local lookup column per mode (replacing the map[int32]int32
+// the original Remap allocated per mode per slice), plus the reused NZ
+// lists and local index columns. After the buffers have grown to the
+// stream's working size, Begin allocates nothing.
+type Remapper struct {
+	lut [][]int32 // per mode: global row → local id, -1 empty, -2 marked
+	rm  Remapped
+	x   sptensor.Tensor // backing store for rm.X
+}
+
+// Begin remaps x into the pooled local view, invalidating the result
+// of the previous Begin (callers needing the previous slice's NZ sets
+// across Begin calls must copy them out). The returned value's Vals
+// alias x's — values are untouched by renumbering — so x must stay
+// alive and unmodified while the view is in use.
+//
+// hotFirst optionally overrides the local id order per mode: nil (or a
+// nil entry) assigns ids in ascending global-row order, which keeps a
+// lexicographically sorted slice sorted and NZ[m] sorted ascending (the
+// invariant SetDiff/SetUnion bookkeeping relies on). A non-nil entry
+// must be a full permutation of the mode's rows (pos → global row);
+// rows then get local ids in that order, NZ[m] is in permutation order,
+// and the local slice is no longer sorted.
+func (r *Remapper) Begin(x *sptensor.Tensor, hotFirst [][]int32) *Remapped {
 	n := x.NModes()
-	rm := &Remapped{NZ: make([][]int32, n)}
-	localDims := make([]int, n)
-	lookups := make([]map[int32]int32, n)
+	nnz := x.NNZ()
+	if cap(r.lut) < n {
+		r.lut = make([][]int32, n)
+		r.rm.NZ = make([][]int32, n)
+		r.x.Dims = make([]int, n)
+		r.x.Inds = make([][]int32, n)
+	}
+	r.lut = r.lut[:n]
+	r.rm.NZ = r.rm.NZ[:n]
+	r.x.Dims = r.x.Dims[:n]
+	r.x.Inds = r.x.Inds[:n]
 	for m := 0; m < n; m++ {
-		nz := x.NonzeroSlices(m)
-		rm.NZ[m] = nz
-		localDims[m] = len(nz)
-		lut := make(map[int32]int32, len(nz))
-		for local, global := range nz {
-			lut[global] = int32(local)
+		dim := x.Dims[m]
+		lut := r.lut[m]
+		if cap(lut) < dim {
+			lut = make([]int32, dim)
+			for i := range lut {
+				lut[i] = -1
+			}
+		} else {
+			// Targeted reset: only the previous slice's nz rows were
+			// ever set (the buffer may be oversized for this mode if
+			// dims changed — still fine, stale rows beyond dim are
+			// reset too).
+			lut = lut[:cap(lut)]
+			for _, g := range r.rm.NZ[m] {
+				if int(g) < len(lut) {
+					lut[g] = -1
+				}
+			}
 		}
-		lookups[m] = lut
-	}
-	local := sptensor.New(localDims...)
-	local.Reserve(x.NNZ())
-	coord := make([]int32, n)
-	for e := 0; e < x.NNZ(); e++ {
-		for m := 0; m < n; m++ {
-			coord[m] = lookups[m][x.Inds[m][e]]
+		lut = lut[:dim]
+
+		// Mark the rows this slice touches …
+		for _, g := range x.Inds[m] {
+			if lut[g] == -1 {
+				lut[g] = -2
+			}
 		}
-		local.Append(coord, x.Vals[e])
+		// … then assign local ids in ascending global order (one O(dim)
+		// scan) or in the caller's hot-first order.
+		nz := r.rm.NZ[m][:0]
+		if hotFirst != nil && m < len(hotFirst) && hotFirst[m] != nil {
+			for _, g := range hotFirst[m] {
+				if lut[g] == -2 {
+					lut[g] = int32(len(nz))
+					nz = append(nz, g)
+				}
+			}
+		} else {
+			for g := int32(0); int(g) < dim; g++ {
+				if lut[g] == -2 {
+					lut[g] = int32(len(nz))
+					nz = append(nz, g)
+				}
+			}
+		}
+		r.rm.NZ[m] = nz
+		r.x.Dims[m] = len(nz)
+
+		// Translate the index column.
+		col := r.x.Inds[m]
+		if cap(col) < nnz {
+			col = make([]int32, nnz)
+		}
+		col = col[:nnz]
+		src := x.Inds[m]
+		for e, g := range src {
+			col[e] = lut[g]
+		}
+		r.x.Inds[m] = col
+		r.lut[m] = lut
 	}
-	rm.X = local
-	return rm
+	r.x.Vals = x.Vals
+	r.rm.X = &r.x
+	return &r.rm
 }
 
 // GatherFactors extracts the A_nz matrices for every mode: out[m] is the
@@ -71,6 +154,12 @@ func (rm *Remapped) GatherFactorsInto(dst, full []*dense.Matrix) {
 	for m, f := range full {
 		gatherInt32(dst[m], f, rm.NZ[m])
 	}
+}
+
+// GatherMode refreshes a single mode's gather in place (the per-mode
+// compact-factor refresh after a factor update).
+func (rm *Remapped) GatherMode(dst, full *dense.Matrix, mode int) {
+	gatherInt32(dst, full, rm.NZ[mode])
 }
 
 func gatherInt32(dst, src *dense.Matrix, idx []int32) {

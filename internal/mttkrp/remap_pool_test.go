@@ -1,0 +1,183 @@
+package mttkrp
+
+import (
+	"testing"
+
+	"spstream/internal/dense"
+	"spstream/internal/sptensor"
+	"spstream/internal/synth"
+)
+
+// remapEqual compares a pooled Begin result against a throwaway Remap of
+// the same slice: NZ sets, local dims, and translated coordinates.
+func remapEqual(t *testing.T, got, want *Remapped) {
+	t.Helper()
+	for m := range want.NZ {
+		if len(got.NZ[m]) != len(want.NZ[m]) {
+			t.Fatalf("mode %d: NZ len %d != %d", m, len(got.NZ[m]), len(want.NZ[m]))
+		}
+		for i := range want.NZ[m] {
+			if got.NZ[m][i] != want.NZ[m][i] {
+				t.Fatalf("mode %d: NZ[%d] = %d, want %d", m, i, got.NZ[m][i], want.NZ[m][i])
+			}
+		}
+		if got.X.Dims[m] != want.X.Dims[m] {
+			t.Fatalf("mode %d: local dim %d != %d", m, got.X.Dims[m], want.X.Dims[m])
+		}
+		for e := range want.X.Inds[m] {
+			if got.X.Inds[m][e] != want.X.Inds[m][e] {
+				t.Fatalf("mode %d: ind[%d] = %d, want %d", m, e, got.X.Inds[m][e], want.X.Inds[m][e])
+			}
+		}
+	}
+}
+
+// A pooled Remapper fed a stream of slices with shifting nz sets must
+// produce exactly what a fresh Remap produces for every slice — the
+// targeted LUT reset may leave no stale local ids behind.
+func TestRemapperPooledReuse(t *testing.T) {
+	dims := []int{40, 25, 33}
+	var r Remapper
+	for s := 0; s < 6; s++ {
+		// Vary density a lot so NZ sets both grow and shrink.
+		nnz := []int{60, 5, 90, 1, 40, 70}[s]
+		x := randomSlice(uint64(100+s), dims, nnz)
+		got := r.Begin(x, nil)
+		remapEqual(t, got, Remap(x))
+		if err := got.X.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for m := range dims {
+			if !SortedInt32(got.NZ[m]) {
+				t.Fatalf("slice %d mode %d: NZ not sorted", s, m)
+			}
+		}
+	}
+}
+
+// Hot-first order: local ids follow the permutation's order restricted
+// to the touched rows, and NZ[m] lists globals in that order.
+func TestRemapperHotFirst(t *testing.T) {
+	x := sptensor.New(6, 4)
+	x.Append([]int32{0, 1}, 1)
+	x.Append([]int32{2, 1}, 2)
+	x.Append([]int32{5, 3}, 3)
+	x.Coalesce()
+	perm := [][]int32{{5, 3, 0, 1, 2, 4}, nil} // mode 0 hot-first, mode 1 ascending
+	var r Remapper
+	rm := r.Begin(x, perm)
+	// Touched rows {0,2,5} in perm order → 5,0,2.
+	want := []int32{5, 0, 2}
+	for i, g := range want {
+		if rm.NZ[0][i] != g {
+			t.Fatalf("NZ[0] = %v, want %v", rm.NZ[0], want)
+		}
+	}
+	// Coordinate translation agrees: global 5 → local 0, 0 → 1, 2 → 2.
+	if rm.X.Inds[0][0] != 1 || rm.X.Inds[0][1] != 2 || rm.X.Inds[0][2] != 0 {
+		t.Fatalf("hot-first translated inds = %v", rm.X.Inds[0])
+	}
+	if !SortedInt32(rm.NZ[1]) {
+		t.Fatal("nil perm entry must keep ascending order")
+	}
+	// Next slice with nil perm resets cleanly back to ascending.
+	rm = r.Begin(x, nil)
+	remapEqual(t, rm, Remap(x))
+}
+
+// Steady-state remapping allocates nothing: once the pooled buffers have
+// grown to the stream's working size, Begin is allocation-free.
+func TestRemapperSteadyStateAllocs(t *testing.T) {
+	dims := []int{300, 200, 250}
+	a := randomSlice(1, dims, 500)
+	b := randomSlice(2, dims, 480)
+	var r Remapper
+	r.Begin(a, nil)
+	r.Begin(b, nil)
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		if i%2 == 0 {
+			r.Begin(a, nil)
+		} else {
+			r.Begin(b, nil)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Begin allocates %v times per run", allocs)
+	}
+}
+
+// randPerm builds a deterministic random permutation of [0, n).
+func randPerm(r *synth.RNG, n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// FuzzRemapRoundTrip drives Begin with random slices and random hot-first
+// permutations and checks the two contracts the streaming layout path
+// relies on: (1) global → local → global coordinate renumbering is the
+// identity on every nonzero, and (2) the MTTKRP computed in the permuted
+// local space, scattered back through NZ, equals Sequential over the
+// original slice.
+func FuzzRemapRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(40), uint8(3), false)
+	f.Add(uint64(7), uint8(9), uint8(120), true)
+	f.Add(uint64(42), uint8(1), uint8(1), true)
+	f.Fuzz(func(t *testing.T, seed uint64, dimSel, nnzSel uint8, hot bool) {
+		dims := []int{3 + int(dimSel)%48, 2 + int(dimSel>>2)%31, 2 + int(dimSel>>4)%17}
+		nnz := 1 + int(nnzSel)
+		x := randomSlice(seed, dims, nnz)
+		r := synth.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+		var hotFirst [][]int32
+		if hot {
+			hotFirst = make([][]int32, len(dims))
+			for m, d := range dims {
+				if r.Intn(3) > 0 { // leave some modes ascending
+					hotFirst[m] = randPerm(r, d)
+				}
+			}
+		}
+		var rp Remapper
+		rm := rp.Begin(x, hotFirst)
+		if err := rm.X.Validate(); err != nil {
+			t.Fatalf("remapped slice invalid: %v", err)
+		}
+		// (1) Round-trip every coordinate through the NZ table.
+		for m := range dims {
+			if len(rm.NZ[m]) != rm.X.Dims[m] {
+				t.Fatalf("mode %d: local dim %d != |NZ| %d", m, rm.X.Dims[m], len(rm.NZ[m]))
+			}
+			for e, loc := range rm.X.Inds[m] {
+				if g := rm.NZ[m][loc]; g != x.Inds[m][e] {
+					t.Fatalf("mode %d nnz %d: local %d → global %d, want %d", m, e, loc, g, x.Inds[m][e])
+				}
+			}
+		}
+		// (2) Permuted-space MTTKRP equals the global-space one.
+		k := 3
+		factors := randomFactors(seed+9, dims, k)
+		gathered := rm.GatherFactors(factors)
+		for mode := range dims {
+			local := dense.NewMatrix(len(rm.NZ[mode]), k)
+			Sequential(local, rm.X, gathered, mode)
+			want := dense.NewMatrix(dims[mode], k)
+			Sequential(want, x, factors, mode)
+			back := dense.NewMatrix(dims[mode], k)
+			rm.ScatterMode(back, local, mode)
+			for i := range want.Data {
+				d := back.Data[i] - want.Data[i]
+				if d > 1e-9 || d < -1e-9 {
+					t.Fatalf("mode %d: permuted MTTKRP diverges at %d: %g vs %g", mode, i, back.Data[i], want.Data[i])
+				}
+			}
+		}
+	})
+}

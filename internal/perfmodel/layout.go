@@ -1,0 +1,468 @@
+package perfmodel
+
+import (
+	"sort"
+
+	"spstream/internal/sptensor"
+)
+
+// This file is the adaptive layout manager (ROADMAP item 3): alongside
+// the per-slice kernel selector it maintains, per mode, a persistent
+// picture of *where* the stream's nonzeros land — an exponentially
+// decayed per-row histogram — and decides, once per slice, whether the
+// slice should be renumbered into a compact local index space before
+// the inner iterations run (mttkrp.Remapper), and whether that
+// renumbering should order rows hot-first so the most-updated
+// accumulator rows share cache lines. Decisions are a pure function of
+// (slice profile, layout state, options): no wall-clock feedback ever
+// flows in, so a checkpoint-restored stream replays the identical
+// kernel+layout schedule (the state itself is part of the SPSTRM03
+// checkpoint payload).
+
+// LayoutParams are the cost-model constants (ns except where noted) of
+// the remap decision plus the histogram/permutation maintenance knobs.
+// Like SelectorParams they are host-generic: only the sign of
+// (gain − cost) matters, and the margins are conservative so the
+// no-remap baseline is kept whenever the prediction is close.
+type LayoutParams struct {
+	// Decay is the per-slice multiplier applied to the row histogram
+	// before a new slice's counts fold in: ~N_eff = 1/(1−Decay) slices
+	// of memory. 0.8 remembers the last ~5 slices — long enough to ride
+	// out one quiet slice, short enough to track a drifting window.
+	Decay float64
+
+	// Remap build cost: one LUT translate pass per mode per nonzero,
+	// one mark/assign scan over each mode's rows, and a fixed per-slice
+	// overhead that keeps tiny slices (where even a "profitable" remap
+	// saves microseconds) on the simple path.
+	RemapBuildNsPerNnz float64 // per nonzero per mode
+	RemapBuildNsPerRow float64 // per row of Σ dims
+	RemapFixedNs       float64
+
+	// Per-iteration terms: a remapped mode skips the full-Iₙ Ψ zero
+	// fill (ZeroNsPerElem·Iₙ·K saved) but pays two compact-factor
+	// copies (gather after each factor update, GatherNsPerElem·|nz|·K).
+	ZeroNsPerElem   float64
+	GatherNsPerElem float64
+	// ColdNsPerNnz is the per-nonzero gather penalty the kernels pay
+	// when the full factors overflow the cache budget; remapping to the
+	// |nz|-row compact factors removes it when they fit back in.
+	ColdNsPerNnz float64
+	CacheBytes   int64
+	// ZSolveNsPerMAC prices the z-row solve collapse of the remapped
+	// explicit update: with Ψ never materialized off the nz rows, the
+	// (Iₙ−|nz|) per-row triangular solves become one K×K composition
+	// plus a streaming product — roughly this many ns saved per z-row
+	// MAC (K² MACs per z row per iteration). This is the remap's
+	// biggest modeled win on skewed modes; it slightly overestimates
+	// constrained runs (ADMM keeps the full Ψ), which is acceptable —
+	// their remap path is a wash, not a regression.
+	ZSolveNsPerMAC float64
+
+	// MaxNZFrac: a mode only counts as compactable when its nz-row set
+	// is at most this fraction of the mode length (the skew detector —
+	// dense-activity modes gain nothing from renumbering).
+	MaxNZFrac float64
+
+	// Hot-first knobs: HotRows is the hot-prefix length the coverage
+	// score watches; hot-first ordering is enabled for a mode only when
+	// the learned permutation's prefix still covers at least
+	// HotFirstMinCover of the decayed mass AND the full factor
+	// overflows CacheBytes (otherwise ordering inside the compact space
+	// cannot matter). A permutation is rebuilt when its prefix coverage
+	// fell RebuildCoverDrop below the coverage it had when built, at
+	// most every MinSlicesBetweenRebuilds slices.
+	HotRows                  int
+	HotFirstMinCover         float64
+	RebuildCoverDrop         float64
+	MinSlicesBetweenRebuilds int
+}
+
+// DefaultLayoutParams returns the host-generic calibration.
+func DefaultLayoutParams() LayoutParams {
+	return LayoutParams{
+		Decay:                    0.8,
+		RemapBuildNsPerNnz:       4,
+		RemapBuildNsPerRow:       2,
+		RemapFixedNs:             30000,
+		ZeroNsPerElem:            0.5,
+		GatherNsPerElem:          1.5,
+		ColdNsPerNnz:             6,
+		CacheBytes:               8 << 20,
+		ZSolveNsPerMAC:           0.5,
+		MaxNZFrac:                0.5,
+		HotRows:                  4096,
+		HotFirstMinCover:         0.5,
+		RebuildCoverDrop:         0.10,
+		MinSlicesBetweenRebuilds: 4,
+	}
+}
+
+// LayoutModeState is the persistent per-mode layout knowledge. All
+// fields are exported for checkpoint serialization; Rank is derived
+// (rebuilt from Perm on restore) and not serialized.
+type LayoutModeState struct {
+	// Hist is the exponentially decayed per-row nonzero count; Tot is
+	// its running sum (maintained incrementally so folds stay O(nnz),
+	// not O(dim)).
+	Hist []float64
+	Tot  float64
+	// Perm is the learned hot-first row order: Perm[pos] = global row,
+	// sorted by decayed count descending (ties by row ascending). Rank
+	// is its inverse. Nil until the first rebuild.
+	Perm []int32
+	Rank []int32
+	// RebuildEpoch is the Epoch at which Perm was last rebuilt;
+	// CoverAtRebuild / Cover are the hot-prefix mass fractions then and
+	// now — the densification score whose decay triggers a rebuild.
+	RebuildEpoch   int
+	CoverAtRebuild float64
+	Cover          float64
+}
+
+// Layout is the stream-lifetime layout manager for one decomposer.
+type Layout struct {
+	P     LayoutParams
+	Modes []LayoutModeState
+	// Epoch counts folded slices; FoldedT is the stream position of the
+	// last fold, making folds idempotent across slice retries (a
+	// rolled-back slice re-profiles but must not double-count).
+	Epoch    int
+	FoldedT  int
+	Rebuilds int
+
+	// rebuild scratch (rare; reused across rebuilds of any mode)
+	scratch []int32
+}
+
+// NewLayout creates a layout manager for the given mode lengths.
+func NewLayout(p LayoutParams, dims []int) *Layout {
+	l := &Layout{P: p, Modes: make([]LayoutModeState, len(dims)), FoldedT: -1}
+	for m, dim := range dims {
+		l.Modes[m].Hist = make([]float64, dim)
+		l.Modes[m].RebuildEpoch = -1
+	}
+	return l
+}
+
+// foldMode decays mode m's histogram and adds one slice's per-row
+// counts. O(dim) for the decay plus O(nz rows) for the add; both are
+// allocation-free.
+func (l *Layout) foldMode(m int, counts []int32) {
+	st := &l.Modes[m]
+	decay := l.P.Decay
+	tot := 0.0
+	for i := range st.Hist {
+		st.Hist[i] *= decay
+		tot += st.Hist[i]
+	}
+	for i, c := range counts {
+		if c > 0 {
+			st.Hist[i] += float64(c)
+			tot += float64(c)
+		}
+	}
+	st.Tot = tot
+}
+
+// finishFold is called once per slice after every mode folded: it
+// advances the epoch, refreshes the coverage scores, and rebuilds any
+// permutation whose coverage decayed past the threshold. Rebuilds are
+// deterministic (sort by decayed count desc, row asc) and gated by
+// MinSlicesBetweenRebuilds so a drifting stream re-permutes a bounded
+// number of times.
+func (l *Layout) finishFold(t int) {
+	l.Epoch++
+	l.FoldedT = t
+	for m := range l.Modes {
+		st := &l.Modes[m]
+		st.Cover = l.coverage(st)
+		if st.Perm == nil {
+			if l.Epoch >= 1 && st.Tot > 0 {
+				l.rebuildPerm(m)
+			}
+			continue
+		}
+		if l.Epoch-st.RebuildEpoch >= l.P.MinSlicesBetweenRebuilds &&
+			st.Cover < st.CoverAtRebuild-l.P.RebuildCoverDrop {
+			l.rebuildPerm(m)
+		}
+	}
+}
+
+// coverage returns the fraction of decayed mass in the permutation's
+// first HotRows rows (0 when no permutation exists yet).
+func (l *Layout) coverage(st *LayoutModeState) float64 {
+	if st.Perm == nil || st.Tot <= 0 {
+		return 0
+	}
+	h := l.P.HotRows
+	if h > len(st.Perm) {
+		h = len(st.Perm)
+	}
+	mass := 0.0
+	for _, g := range st.Perm[:h] {
+		mass += st.Hist[g]
+	}
+	return mass / st.Tot
+}
+
+// rebuildPerm re-sorts mode m's rows hot-first. Allocates only on the
+// first rebuild per mode (and when scratch grows); rebuilds are rare by
+// construction so this stays off the steady-state path.
+func (l *Layout) rebuildPerm(m int) {
+	st := &l.Modes[m]
+	dim := len(st.Hist)
+	if cap(l.scratch) < dim {
+		l.scratch = make([]int32, dim)
+	}
+	idx := l.scratch[:dim]
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ha, hb := st.Hist[idx[a]], st.Hist[idx[b]]
+		if ha != hb {
+			return ha > hb
+		}
+		return idx[a] < idx[b]
+	})
+	if cap(st.Perm) < dim {
+		st.Perm = make([]int32, dim)
+		st.Rank = make([]int32, dim)
+	}
+	st.Perm = st.Perm[:dim]
+	st.Rank = st.Rank[:dim]
+	copy(st.Perm, idx)
+	for pos, g := range st.Perm {
+		st.Rank[g] = int32(pos)
+	}
+	st.RebuildEpoch = l.Epoch
+	st.CoverAtRebuild = l.coverage(st)
+	st.Cover = st.CoverAtRebuild
+	l.Rebuilds++
+}
+
+// RebuildRanks reconstructs the derived inverse permutations after a
+// checkpoint restore.
+func (l *Layout) RebuildRanks() {
+	for m := range l.Modes {
+		st := &l.Modes[m]
+		if st.Perm == nil {
+			st.Rank = nil
+			continue
+		}
+		if cap(st.Rank) < len(st.Perm) {
+			st.Rank = make([]int32, len(st.Perm))
+		}
+		st.Rank = st.Rank[:len(st.Perm)]
+		for pos, g := range st.Perm {
+			st.Rank[g] = int32(pos)
+		}
+	}
+}
+
+// Decision is the per-slice layout verdict. HotFirst[m] is the mode's
+// hot-first ordering (nil = keep ascending global order); it is only
+// non-nil when Remap is true.
+type Decision struct {
+	// Remap renumbers the slice into its compact nz-row index space
+	// before the inner iterations (paper §V-D applied to the explicit
+	// algorithm: the kernels then gather from |nz|·K compact factors
+	// instead of Iₙ·K full ones).
+	Remap bool
+	// HotFirst[m], when non-nil, is the learned pos→row permutation the
+	// remapper should honor when assigning local ids for mode m.
+	HotFirst [][]int32
+}
+
+// Decide is the per-slice layout decision: remap when the modeled
+// per-iteration gain (skipped full-size Ψ zero fills plus warmed-up
+// kernel gathers), amortized over amortIters inner iterations, pays for
+// the remap build and the per-iteration compact-factor maintenance.
+// Pure: reads the layout state, never mutates it.
+func (l *Layout) Decide(p SliceProfile, k, amortIters int) Decision {
+	var dec Decision
+	if l == nil || p.NNZ == 0 {
+		return dec
+	}
+	if amortIters < 1 {
+		amortIters = 1
+	}
+	iters := float64(amortIters)
+	nnz := float64(p.NNZ)
+	n := len(p.Modes)
+
+	gain, cost := 0.0, l.P.RemapFixedNs/iters
+	cost += nnz * float64(n) * l.P.RemapBuildNsPerNnz / iters
+	compactable := false
+	fullBytes, nzBytes := int64(0), int64(0)
+	for _, mp := range p.Modes {
+		fullBytes += int64(mp.Dim) * int64(k) * 8
+		nzBytes += int64(mp.NZRows) * int64(k) * 8
+		cost += float64(mp.Dim) * l.P.RemapBuildNsPerRow / iters
+		if float64(mp.NZRows) <= l.P.MaxNZFrac*float64(mp.Dim) {
+			compactable = true
+			// Per iteration: the mode's Ψ shrinks from Iₙ×K to |nz|×K,
+			// skipping the zero fill of the untouched rows …
+			gain += float64(mp.Dim-mp.NZRows) * float64(k) * l.P.ZeroNsPerElem
+		}
+		// … at the price of refreshing the compact gather of the mode's
+		// factor once per mode update.
+		cost += float64(mp.NZRows) * float64(k) * l.P.GatherNsPerElem
+		// Every mode's update also sheds its z-row triangular solves
+		// (K² MACs each) for a streaming A_z = A_z,t₋₁·M product.
+		gain += float64(mp.Dim-mp.NZRows) * float64(k) * float64(k) * l.P.ZSolveNsPerMAC
+	}
+	if !compactable {
+		return dec
+	}
+	// Cache term: each of the N per-mode MTTKRPs streams nnz gathers
+	// from the other factors; if the full factor set overflows the
+	// budget but the compact set fits, every one of those gathers warms
+	// up.
+	if fullBytes > l.P.CacheBytes && nzBytes <= l.P.CacheBytes {
+		gain += nnz * float64(n) * l.P.ColdNsPerNnz
+	}
+	if gain <= cost {
+		return dec
+	}
+	dec.Remap = true
+
+	// Hot-first ordering inside the compact space: only worth breaking
+	// the ascending-id order (which keeps the slice sorted and the CSF
+	// build on its fast path) when the learned permutation still
+	// describes the stream and the mode is large enough for intra-space
+	// locality to matter.
+	for m := range p.Modes {
+		if m >= len(l.Modes) {
+			break
+		}
+		st := &l.Modes[m]
+		if st.Perm == nil || st.Cover < l.P.HotFirstMinCover {
+			continue
+		}
+		if int64(p.Modes[m].Dim)*int64(k)*8 <= l.P.CacheBytes {
+			continue
+		}
+		if dec.HotFirst == nil {
+			dec.HotFirst = make([][]int32, n)
+		}
+		dec.HotFirst[m] = st.Perm
+	}
+	return dec
+}
+
+// Stats summarizes the layout manager for diagnostics surfaces
+// (serve's /v1/stats, tune accessors). Allocation-free.
+type LayoutStats struct {
+	Epoch    int
+	Rebuilds int
+	// MaxCover is the best hot-prefix coverage across modes — a quick
+	// skew indicator.
+	MaxCover float64
+}
+
+// Stats returns the current diagnostics summary.
+func (l *Layout) Stats() LayoutStats {
+	if l == nil {
+		return LayoutStats{}
+	}
+	s := LayoutStats{Epoch: l.Epoch, Rebuilds: l.Rebuilds}
+	for m := range l.Modes {
+		if c := l.Modes[m].Cover; c > s.MaxCover {
+			s.MaxCover = c
+		}
+	}
+	return s
+}
+
+// Profiler measures slice profiles with pooled scratch and, when a
+// Layout is attached, folds each slice's per-row counts into the
+// decayed histograms during the same counting pass — profiling plus
+// layout learning in one zero-alloc sweep.
+type Profiler struct {
+	counts []int32
+}
+
+// Profile measures x into p (reusing p's storage), folds the counts
+// into lay (nil to skip; t is the stream position making retry folds
+// idempotent), and detects lexicographic sortedness plus the distinct
+// (mode0, mode1) pair count the CSF cost model uses.
+func (pf *Profiler) Profile(p *SliceProfile, x *sptensor.Tensor, lay *Layout, t int) {
+	fold := lay != nil && lay.FoldedT != t
+	n := x.NModes()
+	p.NNZ = x.NNZ()
+	if cap(p.Modes) < n {
+		p.Modes = make([]ModeProfile, n)
+	}
+	p.Modes = p.Modes[:n]
+	for m := 0; m < n; m++ {
+		dim := x.Dims[m]
+		if cap(pf.counts) < dim {
+			pf.counts = make([]int32, dim)
+		}
+		c := pf.counts[:dim]
+		for i := range c {
+			c[i] = 0
+		}
+		for _, i := range x.Inds[m] {
+			c[i]++
+		}
+		nzRows, maxPer := 0, int32(0)
+		for _, v := range c {
+			if v > 0 {
+				nzRows++
+			}
+			if v > maxPer {
+				maxPer = v
+			}
+		}
+		top := 0.0
+		if p.NNZ > 0 {
+			top = float64(maxPer) / float64(p.NNZ)
+		}
+		p.Modes[m] = ModeProfile{Dim: dim, NZRows: nzRows, TopRowFrac: top}
+		if fold && m < len(lay.Modes) {
+			lay.foldMode(m, c)
+		}
+	}
+	p.Sorted, p.Pair01 = scanOrder(x)
+	if fold {
+		lay.finishFold(t)
+	}
+}
+
+// scanOrder reports whether x is sorted lexicographically by mode
+// order (0,1,…,N−1) — the order sptensor.Coalesce leaves slices in —
+// and, when it is, the number of distinct (mode0, mode1) coordinate
+// pairs (a free by-product of the scan; 0 when unsorted or fewer than
+// two modes, since the count is only cheap on sorted data).
+func scanOrder(x *sptensor.Tensor) (bool, int) {
+	nnz := x.NNZ()
+	n := x.NModes()
+	if nnz == 0 {
+		return true, 0
+	}
+	pairs := 1
+	for e := 1; e < nnz; e++ {
+		div := n
+		for m := 0; m < n; m++ {
+			a, b := x.Inds[m][e-1], x.Inds[m][e]
+			if a < b {
+				div = m
+				break
+			}
+			if a > b {
+				return false, 0
+			}
+		}
+		if div <= 1 {
+			pairs++
+		}
+	}
+	if n < 2 {
+		return true, 0
+	}
+	return true, pairs
+}

@@ -1,0 +1,308 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"spstream/internal/sptensor"
+)
+
+// slice2 builds a coalesced 2-way slice from coordinate pairs.
+func slice2(dims []int, coords [][2]int32) *sptensor.Tensor {
+	x := sptensor.New(dims...)
+	for _, c := range coords {
+		x.Append([]int32{c[0], c[1]}, 1)
+	}
+	x.Coalesce()
+	return x
+}
+
+// TestLayoutFoldDecay: folding is exponential decay plus the new counts,
+// with Tot maintained exactly, and the epoch/fold bookkeeping advancing
+// once per distinct stream position.
+func TestLayoutFoldDecay(t *testing.T) {
+	var pf Profiler
+	var p SliceProfile
+	lay := NewLayout(DefaultLayoutParams(), []int{5, 4})
+
+	a := slice2([]int{5, 4}, [][2]int32{{0, 0}, {0, 1}, {3, 2}})
+	pf.Profile(&p, a, lay, 0)
+	if lay.Epoch != 1 || lay.FoldedT != 0 {
+		t.Fatalf("after first fold: Epoch=%d FoldedT=%d", lay.Epoch, lay.FoldedT)
+	}
+	st := &lay.Modes[0]
+	if st.Hist[0] != 2 || st.Hist[3] != 1 || st.Tot != 3 {
+		t.Fatalf("first fold hist = %v tot = %g", st.Hist, st.Tot)
+	}
+
+	b := slice2([]int{5, 4}, [][2]int32{{1, 0}, {3, 3}})
+	pf.Profile(&p, b, lay, 1)
+	d := lay.P.Decay
+	want := []float64{2 * d, 1, 0, d + 1, 0}
+	tot := 0.0
+	for i, w := range want {
+		if math.Abs(st.Hist[i]-w) > 1e-12 {
+			t.Fatalf("decayed hist[%d] = %g, want %g", i, st.Hist[i], w)
+		}
+		tot += w
+	}
+	if math.Abs(st.Tot-tot) > 1e-12 {
+		t.Fatalf("Tot = %g, want %g", st.Tot, tot)
+	}
+
+	// Re-profiling the same stream position (a retried slice) must not
+	// double-count: the fold is idempotent per t.
+	pf.Profile(&p, b, lay, 1)
+	if lay.Epoch != 2 || math.Abs(st.Tot-tot) > 1e-12 {
+		t.Fatalf("retry fold not idempotent: Epoch=%d Tot=%g", lay.Epoch, st.Tot)
+	}
+}
+
+// TestLayoutRebuildDeterministic: the learned permutation orders rows by
+// decayed count descending with ties broken by row ascending, and two
+// managers fed the identical stream hold identical state — the replay
+// property checkpoint restore depends on.
+func TestLayoutRebuildDeterministic(t *testing.T) {
+	dims := []int{6, 3}
+	stream := []*sptensor.Tensor{
+		slice2(dims, [][2]int32{{4, 0}, {4, 1}, {4, 2}, {1, 0}, {1, 1}, {0, 0}}),
+		slice2(dims, [][2]int32{{4, 0}, {1, 0}, {5, 2}}),
+	}
+	run := func() *Layout {
+		var pf Profiler
+		var p SliceProfile
+		lay := NewLayout(DefaultLayoutParams(), dims)
+		for i, x := range stream {
+			pf.Profile(&p, x, lay, i)
+		}
+		return lay
+	}
+	a, b := run(), run()
+
+	st := &a.Modes[0]
+	if st.Perm == nil {
+		t.Fatal("no permutation learned")
+	}
+	// After slice 0: counts 4→3, 1→2, 0→1, rest 0 → hot order 4,1,0,2,3,5.
+	// (Perm is rebuilt at epoch 1 and kept — coverage cannot drop below
+	// the rebuild threshold with HotRows ≫ dim.)
+	wantPerm := []int32{4, 1, 0, 2, 3, 5}
+	for i, w := range wantPerm {
+		if st.Perm[i] != w {
+			t.Fatalf("Perm = %v, want %v", st.Perm, wantPerm)
+		}
+		if st.Rank[w] != int32(i) {
+			t.Fatalf("Rank is not Perm's inverse: Rank[%d]=%d", w, st.Rank[w])
+		}
+	}
+
+	// Replay identity.
+	if a.Epoch != b.Epoch || a.Rebuilds != b.Rebuilds {
+		t.Fatalf("replay diverged: epochs %d/%d rebuilds %d/%d", a.Epoch, b.Epoch, a.Rebuilds, b.Rebuilds)
+	}
+	for m := range a.Modes {
+		sa, sb := &a.Modes[m], &b.Modes[m]
+		for i := range sa.Hist {
+			if sa.Hist[i] != sb.Hist[i] {
+				t.Fatalf("mode %d hist diverged at %d", m, i)
+			}
+		}
+		for i := range sa.Perm {
+			if sa.Perm[i] != sb.Perm[i] {
+				t.Fatalf("mode %d perm diverged at %d", m, i)
+			}
+		}
+	}
+}
+
+// layoutFingerprint flattens the mutable state Decide could touch.
+func layoutFingerprint(l *Layout) []float64 {
+	var fp []float64
+	fp = append(fp, float64(l.Epoch), float64(l.FoldedT), float64(l.Rebuilds))
+	for m := range l.Modes {
+		st := &l.Modes[m]
+		fp = append(fp, st.Tot, st.Cover, st.CoverAtRebuild, float64(st.RebuildEpoch))
+		fp = append(fp, st.Hist...)
+		for _, g := range st.Perm {
+			fp = append(fp, float64(g))
+		}
+	}
+	return fp
+}
+
+// TestDecidePure: Decide never mutates the layout state and is
+// deterministic for a fixed (profile, state, options) triple.
+func TestDecidePure(t *testing.T) {
+	dims := []int{4000, 3000}
+	var pf Profiler
+	var p SliceProfile
+	lay := NewLayout(DefaultLayoutParams(), dims)
+	x := slice2(dims, [][2]int32{{0, 0}, {0, 1}, {1, 0}, {3999, 2999}})
+	pf.Profile(&p, x, lay, 0)
+
+	before := layoutFingerprint(lay)
+	d1 := lay.Decide(p, 16, 4)
+	d2 := lay.Decide(p, 16, 4)
+	after := layoutFingerprint(lay)
+	if len(before) != len(after) {
+		t.Fatal("Decide changed state shape")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Decide mutated layout state")
+		}
+	}
+	if d1.Remap != d2.Remap || (d1.HotFirst == nil) != (d2.HotFirst == nil) {
+		t.Fatal("Decide not deterministic")
+	}
+
+	// Nil receiver is a valid "layout off" state.
+	var nilLay *Layout
+	if dec := nilLay.Decide(p, 16, 4); dec.Remap {
+		t.Fatal("nil layout must never remap")
+	}
+	if s := nilLay.Stats(); s.Epoch != 0 {
+		t.Fatal("nil layout stats must be zero")
+	}
+}
+
+// TestDecideThresholds drives the remap cost model through its three
+// regimes with hand-set constants: not compactable (dense activity),
+// compactable but not worth it (gain below build cost), and clearly
+// profitable (large skipped zero fill).
+func TestDecideThresholds(t *testing.T) {
+	p := DefaultLayoutParams()
+	lay := NewLayout(p, []int{100000, 50})
+
+	mk := func(nzRows0 int) SliceProfile {
+		return SliceProfile{
+			NNZ: 1000,
+			Modes: []ModeProfile{
+				{Dim: 100000, NZRows: nzRows0},
+				{Dim: 50, NZRows: 50},
+			},
+		}
+	}
+
+	// 90% of rows active: MaxNZFrac rejects every mode → never remap.
+	if dec := lay.Decide(mk(90000), 16, 4); dec.Remap {
+		t.Fatal("dense-activity slice must not remap")
+	}
+	// 1000 active rows of 100000: skipped zero fill dwarfs the build →
+	// remap.
+	if dec := lay.Decide(mk(1000), 16, 4); !dec.Remap {
+		t.Fatal("skewed slice must remap")
+	}
+	// Same slice with one amortization iteration and a huge fixed cost:
+	// the build cannot pay for itself.
+	expensive := p
+	expensive.RemapFixedNs = 1e12
+	lay2 := NewLayout(expensive, []int{100000, 50})
+	if dec := lay2.Decide(mk(1000), 16, 1); dec.Remap {
+		t.Fatal("unamortizable build must not remap")
+	}
+	// Empty slice is a no-op.
+	if dec := lay.Decide(SliceProfile{}, 16, 4); dec.Remap {
+		t.Fatal("empty profile must not remap")
+	}
+}
+
+// TestDecideHotFirst: the hot-first order is offered only when a
+// permutation exists, its coverage holds up, and the mode's full factor
+// overflows the cache budget.
+func TestDecideHotFirst(t *testing.T) {
+	prm := DefaultLayoutParams()
+	// Budget between the compact set (23·16·8 ≈ 3KB) and the full set
+	// (140·16·8 ≈ 17.5KB): the cache term fires, and mode 0's full
+	// factor (12.5KB) overflows while mode 1's (5KB) fits.
+	prm.CacheBytes = 8 << 10
+	dims := []int{100, 40}
+	lay := NewLayout(prm, dims)
+
+	var pf Profiler
+	var p SliceProfile
+	x := slice2(dims, [][2]int32{{7, 0}, {7, 1}, {2, 0}})
+	pf.Profile(&p, x, lay, 0) // epoch 1: perm rebuilt, cover = 1 (HotRows ≫ dim)
+
+	prof := SliceProfile{
+		NNZ: 100000,
+		Modes: []ModeProfile{
+			{Dim: 100, NZRows: 3},
+			{Dim: 40, NZRows: 20},
+		},
+	}
+	dec := lay.Decide(prof, 16, 4)
+	if !dec.Remap {
+		t.Fatal("expected remap")
+	}
+	if dec.HotFirst == nil || dec.HotFirst[0] == nil {
+		t.Fatal("expected hot-first order for the overflowing mode")
+	}
+	if dec.HotFirst[0][0] != 7 {
+		t.Fatalf("hot-first order should lead with the hottest row, got %d", dec.HotFirst[0][0])
+	}
+
+	// With the cache comfortably holding the full factor, ordering inside
+	// the compact space cannot matter → ascending order kept.
+	roomy := prm
+	roomy.CacheBytes = 1 << 30
+	lay.P = roomy
+	dec = lay.Decide(prof, 16, 4)
+	if dec.Remap && dec.HotFirst != nil {
+		t.Fatal("hot-first must be withheld when factors fit in cache")
+	}
+}
+
+// TestScanOrder pins down the sortedness/pair-count scan: Pair01 counts
+// distinct (mode0, mode1) prefixes on sorted slices, tolerates duplicate
+// coordinates, and is zero (with Sorted=false) on unsorted input.
+func TestScanOrder(t *testing.T) {
+	dims := []int{10, 10, 10}
+	x := sptensor.New(dims...)
+	for _, c := range [][3]int32{{0, 0, 1}, {0, 0, 3}, {0, 2, 0}, {1, 0, 0}, {1, 0, 0}, {1, 0, 5}} {
+		x.Append(c[:], 1)
+	}
+	sorted, pairs := scanOrder(x)
+	if !sorted {
+		t.Fatal("lex-sorted slice (with a duplicate) must report sorted")
+	}
+	// Distinct (m0,m1) prefixes: (0,0), (0,2), (1,0).
+	if pairs != 3 {
+		t.Fatalf("Pair01 = %d, want 3", pairs)
+	}
+
+	y := sptensor.New(dims...)
+	y.Append([]int32{5, 0, 0}, 1)
+	y.Append([]int32{2, 0, 0}, 1)
+	if sorted, pairs := scanOrder(y); sorted || pairs != 0 {
+		t.Fatalf("unsorted slice: sorted=%v pairs=%d", sorted, pairs)
+	}
+
+	empty := sptensor.New(dims...)
+	if sorted, pairs := scanOrder(empty); !sorted || pairs != 0 {
+		t.Fatal("empty slice must be trivially sorted with zero pairs")
+	}
+}
+
+// TestProfilerZeroAllocWithLayout: the fold shares the profiling pass
+// and must keep it allocation-free once warm.
+func TestProfilerZeroAllocWithLayout(t *testing.T) {
+	dims := []int{300, 200}
+	lay := NewLayout(DefaultLayoutParams(), dims)
+	var pf Profiler
+	var p SliceProfile
+	xs := []*sptensor.Tensor{
+		slice2(dims, [][2]int32{{0, 0}, {1, 1}, {299, 199}}),
+		slice2(dims, [][2]int32{{5, 5}, {7, 9}}),
+	}
+	pf.Profile(&p, xs[0], lay, 0)
+	pf.Profile(&p, xs[1], lay, 1)
+	tpos := 2
+	allocs := testing.AllocsPerRun(20, func() {
+		pf.Profile(&p, xs[tpos%2], lay, tpos)
+		tpos++
+	})
+	if allocs != 0 {
+		t.Fatalf("profile+fold allocates %v times per slice", allocs)
+	}
+}

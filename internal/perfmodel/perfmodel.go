@@ -131,6 +131,14 @@ type ModeProfile struct {
 type SliceProfile struct {
 	NNZ   int
 	Modes []ModeProfile
+	// Sorted reports that the slice is stored in lexicographic
+	// (mode 0, 1, …) order — what sptensor.Coalesce produces — which
+	// unlocks the CSF engine's reduced-pass builds; Pair01 is the
+	// measured distinct (mode0, mode1) coordinate-pair count (0 when
+	// unsorted), replacing the birthday estimate for the level-1 node
+	// counts of trees rooted at modes 0 and 1.
+	Sorted bool
+	Pair01 int
 }
 
 // Profile measures a SliceProfile from an actual slice.
@@ -144,6 +152,7 @@ func Profile(x *sptensor.Tensor) SliceProfile {
 		}
 		p.Modes[m] = ModeProfile{Dim: st.Dim, NZRows: st.NonzeroRows, TopRowFrac: top}
 	}
+	p.Sorted, p.Pair01 = scanOrder(x)
 	return p
 }
 

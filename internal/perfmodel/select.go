@@ -49,6 +49,21 @@ type SelectorParams struct {
 	// over the expected inner iterations.
 	PlanBuildNsPerNnz float64
 	CSFBuildNsPerNnz  float64 // per nonzero per level of one tree
+	// Sorted-slice build refinement: when the profile proves the slice
+	// lexicographically sorted, the engine's sorted-base fast path
+	// replaces the N radix passes with 0 (root = mode 0) or 1 (any
+	// other root), so the build is CSFSortNsPerPass per remaining pass
+	// plus the CSFTreeNsPerNnz node-emission pass. Used only by the
+	// Ex variants; zero values fall back to the legacy N-pass formula.
+	CSFSortNsPerPass float64
+	CSFTreeNsPerNnz  float64
+	// ColdFactor scales a kernel's factor-row gather terms when the
+	// gathered matrices overflow CacheBytes: random gathers from a
+	// matrix larger than the cache miss on nearly every row, which the
+	// flat per-rank constants (fit on cache-resident grids) miss badly
+	// on paper-§VI-scale skewed modes.
+	ColdFactor float64
+	CacheBytes int64
 	// Margin < 1: CSF is selected only when its predicted time is below
 	// Margin × the plan's prediction, so prediction noise near the
 	// crossover resolves to the kernel whose worst case is milder.
@@ -67,6 +82,10 @@ func DefaultSelectorParams() SelectorParams {
 		CSFNodeNsPerRank:   1,
 		PlanBuildNsPerNnz:  11,
 		CSFBuildNsPerNnz:   28,
+		CSFSortNsPerPass:   18,
+		CSFTreeNsPerNnz:    30,
+		ColdFactor:         1.6,
+		CacheBytes:         8 << 20,
 		Margin:             0.9,
 	}
 }
@@ -111,11 +130,33 @@ func distinct(space, n float64) float64 {
 	return d
 }
 
+// coldScale returns ColdFactor when gathering rank-k rows from a
+// dim-row matrix misses the cache budget (1 otherwise, and 1 when the
+// cold refinement is not configured).
+func (se Selector) coldScale(dim, k int) float64 {
+	if se.P.ColdFactor <= 1 || se.P.CacheBytes <= 0 {
+		return 1
+	}
+	if int64(dim)*int64(k)*8 > se.P.CacheBytes {
+		return se.P.ColdFactor
+	}
+	return 1
+}
+
 // PlanModeTime predicts one plan-kernel MTTKRP (seconds, excluding
-// build) for one mode of the profiled slice.
+// build) for one mode of the profiled slice. The per-rank gather term
+// is scaled by ColdFactor when the source factors (every mode but the
+// output) overflow the cache budget.
 func (se Selector) PlanModeTime(s SliceProfile, mode, k int) float64 {
 	nnz := float64(s.NNZ)
-	t := nnz * (se.P.PlanNsPerNnz + float64(k)*se.P.PlanNsPerRank) / float64(se.Workers) * 1e-9
+	srcDim := 0
+	for m := range s.Modes {
+		if m != mode {
+			srcDim += s.Modes[m].Dim
+		}
+	}
+	rankNs := float64(k) * se.P.PlanNsPerRank * se.coldScale(srcDim, k)
+	t := nnz * (se.P.PlanNsPerNnz + rankNs) / float64(se.Workers) * 1e-9
 	if mode == len(s.Modes)-1 {
 		t *= se.P.PlanLastModeFactor
 	}
@@ -128,29 +169,54 @@ func (se Selector) PlanModeTime(s SliceProfile, mode, k int) float64 {
 // each internal level below the root is the birthday estimate of
 // distinct coordinate prefixes.
 func (se Selector) CSFModeTime(s SliceProfile, mode, k int) float64 {
+	return se.CSFModeTimeEx(s, mode, k, false)
+}
+
+// CSFModeTimeEx is CSFModeTime with the tree's level order chosen the
+// way the engine will actually build it: sortedBase mirrors
+// csf.ModeOrderBase (root first, remaining modes in storage order —
+// the engine's reduced-pass layout for sorted slices), false mirrors
+// csf.ModeOrder. When the first two levels are modes {0,1} and the
+// profile carries a measured distinct-pair count, that count replaces
+// the birthday estimate for the level-1 nodes; per-level gather terms
+// are scaled by ColdFactor when the level's factor overflows the cache
+// budget.
+func (se Selector) CSFModeTimeEx(s SliceProfile, mode, k int, sortedBase bool) float64 {
 	nnz := float64(s.NNZ)
 	if nnz == 0 {
 		return 0
 	}
-	dims := make([]int, len(s.Modes))
-	for m := range s.Modes {
-		dims[m] = s.Modes[m].Dim
+	n := len(s.Modes)
+	order := make([]int, 0, n)
+	if sortedBase {
+		order = csf.ModeOrderBase(order, n, mode)
+	} else {
+		dims := make([]int, n)
+		for m := range s.Modes {
+			dims[m] = s.Modes[m].Dim
+		}
+		order = csf.ModeOrder(order, dims, mode)
 	}
-	order := csf.ModeOrder(nil, dims, mode)
-	n := len(order)
 	// Every stored value pays the leaf term; internal nodes exist at
 	// levels 1..n-2 (the roots are amortized into their subtrees, the
 	// leaves are the values themselves). Level l's node count is the
-	// birthday estimate of distinct (order[0..l]) coordinate prefixes;
-	// the prefix space is capped by the observed per-mode nz-row counts,
+	// birthday estimate of distinct (order[0..l]) coordinate prefixes —
+	// replaced by the measured count where one is available — and the
+	// prefix space is capped by the observed per-mode nz-row counts,
 	// which are tighter than the full mode lengths on sparse slices.
-	leafScale := se.P.CSFValNs + float64(k)*se.P.CSFLeafNsPerRank
-	nodeScale := se.P.CSFNodeNs + float64(k)*se.P.CSFNodeNsPerRank
+	leafScale := (se.P.CSFValNs + float64(k)*se.P.CSFLeafNsPerRank) *
+		se.coldScale(s.Modes[order[n-1]].Dim, k)
 	cost := nnz * leafScale
 	space := rowSpace(s.Modes[order[0]])
 	for l := 1; l < n-1; l++ {
 		space *= rowSpace(s.Modes[order[l]])
-		cost += distinct(space, nnz) * nodeScale
+		nodes := distinct(space, nnz)
+		if l == 1 && s.Pair01 > 0 && (order[0]|order[1]) == 1 && order[0] != order[1] {
+			nodes = float64(s.Pair01)
+		}
+		nodeScale := (se.P.CSFNodeNs + float64(k)*se.P.CSFNodeNsPerRank) *
+			se.coldScale(s.Modes[order[l]].Dim, k)
+		cost += nodes * nodeScale
 	}
 	return cost / float64(se.Workers) * 1e-9
 }
@@ -179,6 +245,21 @@ func (se Selector) CSFBuildTime(s SliceProfile) float64 {
 	return float64(s.NNZ) * float64(len(s.Modes)) * se.P.CSFBuildNsPerNnz * 1e-9
 }
 
+// CSFBuildTimeEx refines CSFBuildTime for a specific root mode when
+// the slice is known sorted: the engine's sorted-base path needs no
+// sort pass for a tree rooted at mode 0 and exactly one stable
+// counting pass for any other root, plus the node-emission pass.
+func (se Selector) CSFBuildTimeEx(s SliceProfile, mode int) float64 {
+	if !s.Sorted || se.P.CSFSortNsPerPass == 0 {
+		return se.CSFBuildTime(s)
+	}
+	passes := 1.0
+	if mode == 0 {
+		passes = 0
+	}
+	return float64(s.NNZ) * (passes*se.P.CSFSortNsPerPass + se.P.CSFTreeNsPerNnz) * 1e-9
+}
+
 // SelectMTTKRP chooses the kernel for one mode of the profiled slice:
 // MTTKRPCSF when the CSF prediction — including its build amortized
 // over amortIters inner iterations — beats the plan prediction by the
@@ -187,12 +268,26 @@ func (se Selector) CSFBuildTime(s SliceProfile) float64 {
 // so checkpoint-restored runs reproduce the original kernel schedule
 // bit-for-bit.
 func (se Selector) SelectMTTKRP(s SliceProfile, mode, k, amortIters int) MTTKRPKind {
+	return se.SelectMTTKRPEx(s, mode, k, amortIters, false)
+}
+
+// SelectMTTKRPEx is SelectMTTKRP with the sorted-base refinement:
+// when sortedBase is set (the caller verified the slice is sorted and
+// will hint the engine with csf.Engine.SetSortedBase), the CSF side is
+// modeled with the base-order tree shape and the reduced-pass build
+// cost. Still a pure function of its arguments.
+func (se Selector) SelectMTTKRPEx(s SliceProfile, mode, k, amortIters int, sortedBase bool) MTTKRPKind {
 	if amortIters < 1 {
 		amortIters = 1
 	}
 	iters := float64(amortIters)
 	plan := se.PlanModeTime(s, mode, k) + se.PlanBuildTime(s)/iters
-	csft := se.CSFModeTime(s, mode, k) + se.CSFBuildTime(s)/iters
+	var csft float64
+	if sortedBase {
+		csft = se.CSFModeTimeEx(s, mode, k, true) + se.CSFBuildTimeEx(s, mode)/iters
+	} else {
+		csft = se.CSFModeTime(s, mode, k) + se.CSFBuildTime(s)/iters
+	}
 	if csft < se.P.Margin*plan {
 		return MTTKRPCSF
 	}

@@ -262,6 +262,20 @@ type statsResponse struct {
 	Breaker        breakerStats     `json:"breaker"`
 	Overload       map[string]int64 `json:"overload"`
 	Resilience     resilience.Stats `json:"resilience"`
+	Layout         layoutStats      `json:"layout"`
+}
+
+// layoutStats reports the adaptive-layout manager: how much of the
+// stream it has profiled, how often the hot-first permutations were
+// rebuilt, and what the newest slice's verdict was. Row remapping is
+// invisible in every other API — snapshots and checkpoints always carry
+// global row ids — so these counters are the only external trace of it.
+type layoutStats struct {
+	Epoch    int     `json:"epoch"`
+	Rebuilds int     `json:"rebuilds"`
+	MaxCover float64 `json:"max_cover"`
+	Remapped bool    `json:"remapped"`
+	HotFirst bool    `json:"hot_first"`
 }
 
 type breakerStats struct {
@@ -305,6 +319,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queue_high":   ov.QueueHighWater,
 		},
 		Resilience: view.Resilience,
+		Layout: layoutStats{
+			Epoch:    view.Layout.Epoch,
+			Rebuilds: view.Layout.Rebuilds,
+			MaxCover: view.Layout.MaxCover,
+			Remapped: view.Remapped,
+			HotFirst: view.HotFirst,
+		},
 	}
 	if bs.State != resilience.BreakerClosed {
 		resp.Breaker.RetryAfterSeconds = int(math.Ceil(s.breaker.RetryAfter().Seconds()))

@@ -13,6 +13,7 @@ import (
 
 	"spstream/internal/core"
 	"spstream/internal/ingest"
+	"spstream/internal/perfmodel"
 	"spstream/internal/resilience"
 	"spstream/internal/sptensor"
 	"spstream/internal/trace"
@@ -120,6 +121,9 @@ type statsView struct {
 	T          int
 	Fit        float64
 	Resilience resilience.Stats
+	Layout     perfmodel.LayoutStats
+	Remapped   bool
+	HotFirst   bool
 }
 
 // Server is the daemon: decomposer + ingest pipeline + breaker + HTTP
@@ -243,7 +247,15 @@ func (s *Server) onError(err error) {
 // publishStats republishes the consumer-side counters (called only
 // from the consumer goroutine or while the pipeline is quiescent).
 func (s *Server) publishStats(fit float64) {
-	s.stats.Store(&statsView{T: s.dec.T(), Fit: fit, Resilience: s.dec.ResilienceStats()})
+	rm, hot := s.dec.LastLayoutDecision()
+	s.stats.Store(&statsView{
+		T:          s.dec.T(),
+		Fit:        fit,
+		Resilience: s.dec.ResilienceStats(),
+		Layout:     s.dec.LayoutStats(),
+		Remapped:   rm,
+		HotFirst:   hot,
+	})
 }
 
 // Snapshot returns the current published model (never nil after New).
