@@ -10,7 +10,7 @@ LDFLAGS   = -ldflags "-X spstream/internal/version.Version=$(VERSION) \
 	-X spstream/internal/version.Commit=$(COMMIT) \
 	-X spstream/internal/version.BuildDate=$(BUILDDATE)"
 
-.PHONY: all build test race cover bench bench-skew bench-compare benchcmp bench-go threshold lint repro repro-measure fuzz e2e clean
+.PHONY: all build test race cover bench bench-skew bench-compare benchcmp bench-go threshold lint repro repro-measure fuzz e2e wal-chaos clean
 
 all: build test
 
@@ -84,11 +84,22 @@ repro-measure:
 e2e:
 	$(GO) test -race -run 'TestE2E' -v ./cmd/spstreamd/
 
+# Durable-backlog chaos: disk faults (short writes, failed fsyncs, torn
+# records, ENOSPC) against the spill WAL, exact accounting under
+# concurrent producers, and the SIGKILL-and-replay e2e — all under the
+# race detector.
+wal-chaos:
+	$(GO) test -race -run 'TestSpill|TestShortWrite|TestFailedSync|TestTorn|TestENOSPC' -v ./internal/ingest/ ./internal/resilience/faultinject/
+	$(GO) test -race ./internal/ingest/wal/
+	$(GO) test -race -run 'TestWALSIGKILLReplay' -v ./cmd/spstreamd/
+
 fuzz:
 	$(GO) test -fuzz FuzzReadTNS -fuzztime 30s ./internal/sptensor/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 30s ./internal/sptensor/
 	$(GO) test -fuzz FuzzCoalesce -fuzztime 30s ./internal/sptensor/
 	$(GO) test -fuzz FuzzParseEvent -fuzztime 30s ./cmd/watch/
+	$(GO) test -fuzz FuzzWALRecord -fuzztime 30s ./internal/ingest/wal/
+	$(GO) test -fuzz FuzzWALSegment -fuzztime 30s ./internal/ingest/wal/
 
 clean:
 	$(GO) clean -testcache -fuzzcache

@@ -61,7 +61,10 @@ func main() {
 		ckptKeep   = flag.Int("checkpoint-keep", 2, "periodic checkpoints retained (with -checkpoint-dir)")
 		onError    = flag.String("on-error", "", "slice failure policy: abort, retry, skip (enables guarded processing)")
 		sliceTmout = flag.Duration("slice-timeout", 0, "per-slice deadline (e.g. 30s; 0 = none)")
-		shedPolicy = flag.String("shed-policy", "", "route slices through the bounded ingest pipeline with this full-queue policy: block, drop-newest, drop-oldest, coalesce")
+		shedPolicy = flag.String("shed-policy", "", "route slices through the bounded ingest pipeline with this full-queue policy: block, drop-newest, drop-oldest, coalesce, spill")
+		spillDir   = flag.String("spill-dir", "", "durable backlog directory: queue overflow spills to a crash-safe WAL here and replays in order (implies -shed-policy spill)")
+		spillMax   = flag.Int64("spill-max-bytes", 0, "cap on the on-disk spill backlog; 0 = unbounded (past the cap overflow is shed)")
+		spillFsync = flag.Duration("spill-fsync-interval", 0, "WAL group-commit window — how much freshly spilled data a hard crash may lose (0 = fsync every slice)")
 		maxLag     = flag.Duration("max-lag", 0, "shed slices older than this at solve time (enables the ingest pipeline; 0 = never)")
 		degrade    = flag.Bool("degrade", false, "degrade model quality under sustained overload (enables the ingest pipeline)")
 		drainTmout = flag.Duration("drain-timeout", 30*time.Second, "max time to flush the ingest backlog on shutdown")
@@ -182,7 +185,7 @@ func main() {
 		}
 	}
 	interrupted := false
-	if *shedPolicy != "" || *maxLag > 0 || *degrade {
+	if *shedPolicy != "" || *maxLag > 0 || *degrade || *spillDir != "" {
 		// Overload-robust path: slices go through the bounded ingest
 		// pipeline instead of the direct loop.
 		policy := spstream.ShedBlock
@@ -192,6 +195,10 @@ func main() {
 				fatal(err)
 			}
 		}
+		if policy == spstream.ShedSpill && *spillDir == "" {
+			fatal(fmt.Errorf("-shed-policy spill requires -spill-dir"))
+		}
+		var p *spstream.IngestPipeline
 		pcfg := spstream.IngestConfig{
 			Policy:       policy,
 			MaxLag:       *maxLag,
@@ -205,8 +212,15 @@ func main() {
 					res.T, res.NNZ, res.Iters, res.Delta, fitStr, "-", res.Converged)
 				if rcfg != nil && rcfg.Checkpoint != nil {
 					// Consumer goroutine: the decomposer is quiescent
-					// between slices here.
-					if _, err := rcfg.Checkpoint.MaybeWrite(dec.T(), dec); err != nil {
+					// between slices here. Durably bind the spill offset
+					// BEFORE the checkpoint that depends on it.
+					t := dec.T()
+					if t > 0 && t%*ckptEvery == 0 {
+						if err := p.SpillMark(t); err != nil {
+							fmt.Fprintf(os.Stderr, "cpstream: spill offset: %v\n", err)
+						}
+					}
+					if _, err := rcfg.Checkpoint.MaybeWrite(t, dec); err != nil {
 						fmt.Fprintf(os.Stderr, "cpstream: checkpoint: %v\n", err)
 					}
 				}
@@ -218,9 +232,25 @@ func main() {
 		if *degrade {
 			pcfg.Degrade = &spstream.DegradeConfig{MaxLag: *maxLag}
 		}
-		p, err := spstream.NewIngestPipeline(dec, pcfg)
+		if *spillDir != "" {
+			pcfg.Policy = spstream.ShedSpill
+			pcfg.Spill = &spstream.SpillConfig{
+				Dir:           *spillDir,
+				MaxBytes:      *spillMax,
+				FsyncInterval: *spillFsync,
+				// Replay resumes after the slices folded into the resumed
+				// state; a fresh start replays the whole backlog.
+				ReplayFrom: dec.T(),
+			}
+		}
+		p, err = spstream.NewIngestPipeline(dec, pcfg)
 		if err != nil {
 			fatal(err)
+		}
+		if pcfg.Spill != nil {
+			if n := p.Stats().SpillRecovered; n > 0 {
+				fmt.Printf("spill: recovered %d durable backlog slices (replay bound to t=%d)\n", n, pcfg.Spill.ReplayFrom)
+			}
 		}
 		// The signal stops admissions; the backlog still drains
 		// (bounded by -drain-timeout).

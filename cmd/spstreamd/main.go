@@ -20,6 +20,13 @@
 // -checkpoint-dir is set, finish in-flight reads, and exit 0; on
 // restart the newest checkpoint is restored.
 //
+// With -spill-dir, queue overflow is not shed: it spills to a
+// crash-safe write-ahead log in that directory and replays in
+// admission order as the solver catches up. After a hard crash the
+// unconsumed backlog replays from the offset bound to the restored
+// checkpoint — committed slices are never re-solved, admitted ones
+// never dropped.
+//
 // Examples:
 //
 //	spstreamd -addr :8080 -dims 100,100 -rank 8 -checkpoint-dir /var/lib/spstream
@@ -55,9 +62,13 @@ func main() {
 		mu       = flag.Float64("mu", 0.95, "forgetting factor")
 		window   = flag.Int("window", 1000, "events per window/slice")
 		queueCap = flag.Int("queue", 8, "max windows buffered between API and solver")
-		shed     = flag.String("shed-policy", "drop-newest", "full-queue policy: drop-newest, drop-oldest, coalesce")
+		shed     = flag.String("shed-policy", "drop-newest", "full-queue policy: drop-newest, drop-oldest, coalesce, spill")
 		maxLag   = flag.Duration("max-lag", 0, "shed windows older than this at solve time (0 = never)")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "max time to flush the backlog on shutdown")
+
+		spillDir   = flag.String("spill-dir", "", "durable backlog directory: queue overflow spills to a crash-safe WAL here and replays in order (implies -shed-policy spill)")
+		spillMax   = flag.Int64("spill-max-bytes", 0, "cap on the on-disk spill backlog; 0 = unbounded (past the cap overflow is shed)")
+		spillFsync = flag.Duration("spill-fsync-interval", 0, "WAL group-commit window — how much freshly spilled data a hard crash may lose (0 = fsync every window)")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "restore from and checkpoint into this directory")
 		ckptEvery = flag.Int("every", 10, "checkpoint every N committed slices")
@@ -94,6 +105,9 @@ func main() {
 	if policy == ingest.Block {
 		fatal(fmt.Errorf("the block policy would hang HTTP ingest; use a shedding policy"))
 	}
+	if policy == ingest.Spill && *spillDir == "" {
+		fatal(fmt.Errorf("-shed-policy spill requires -spill-dir"))
+	}
 	rpolicy, err := resilience.ParsePolicy(*onError)
 	if err != nil {
 		fatal(err)
@@ -118,19 +132,22 @@ func main() {
 			Normalize:  true,
 			Resilience: rcfg,
 		},
-		WindowEvents:    *window,
-		QueueCap:        *queueCap,
-		Policy:          policy,
-		MaxLag:          *maxLag,
-		DrainTimeout:    *drainTO,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		CheckpointKeep:  *ckptKeep,
-		BreakerFailures: *brkFails,
-		BreakerCooldown: *brkCool,
-		BodyLimit:       *bodyLimit,
-		RequestTimeout:  *reqTO,
-		Version:         version.String(),
+		WindowEvents:       *window,
+		QueueCap:           *queueCap,
+		Policy:             policy,
+		MaxLag:             *maxLag,
+		DrainTimeout:       *drainTO,
+		SpillDir:           *spillDir,
+		SpillMaxBytes:      *spillMax,
+		SpillFsyncInterval: *spillFsync,
+		CheckpointDir:      *ckptDir,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointKeep:     *ckptKeep,
+		BreakerFailures:    *brkFails,
+		BreakerCooldown:    *brkCool,
+		BodyLimit:          *bodyLimit,
+		RequestTimeout:     *reqTO,
+		Version:            version.String(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "spstreamd: "+format+"\n", args...)
 		},

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestWALSIGKILLReplay is the end-to-end crash-safety test of the
+// durable spill backlog: the real daemon binary is SIGKILLed mid-stream
+// with a non-empty spilled backlog, restarted against the same
+// directories, and must converge to factors bit-identical to a run that
+// was never crashed.
+//
+//  1. control: a healthy daemon ingests the whole feed; capture its
+//     final /v1/factors.
+//  2. crash: a daemon with a stalled solver (-chaos stall), queue 1,
+//     and -spill-dir ingests the same feed; every overflowing window
+//     rides the WAL. Once ≥2 windows are committed (so nothing
+//     unprocessed is still in the volatile queue) and the backlog is
+//     non-empty, SIGKILL — no drain, no WAL flush, no offset commit.
+//  3. replay: a clean daemon on the same -spill-dir/-checkpoint-dir
+//     restores the newest checkpoint, replays the backlog from its
+//     committed offset, and must serve the control run's exact model.
+func TestWALSIGKILLReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "spstreamd")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	build.Env = append(os.Environ(), "CGO_ENABLED=1")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	const totalEvents = 60 // windows of 4 → 15 slices
+	feed := eventLines(totalEvents, 0)
+	modelArgs := []string{"-dims", "10,8", "-rank", "3", "-window", "4"}
+
+	// Control: never crashed, queue big enough that nothing sheds.
+	base, cmd := startDaemon(t, bin, append([]string{
+		"-addr", "127.0.0.1:0", "-queue", "64",
+	}, modelArgs...))
+	if code, _ := post(t, base, feed); code != 200 {
+		t.Fatalf("control ingest = %d, want 200", code)
+	}
+	waitFor(t, "control run to finish the stream", func() bool { return statT(t, base) == 15 })
+	controlFactors := factors(t, base)
+	cmd.Process.Signal(syscall.SIGTERM)
+	cmd.Wait()
+
+	// Crash run: slow solver, queue 1 — the feed lands almost entirely
+	// in the WAL. -every 1 checkpoints (offset first) each slice;
+	// -spill-fsync-interval 0 makes every spill durable before its 200.
+	ckptDir, spillDir := t.TempDir(), t.TempDir()
+	base2, cmd2 := startDaemon(t, bin, append([]string{
+		"-addr", "127.0.0.1:0", "-queue", "1",
+		"-spill-dir", spillDir, "-spill-fsync-interval", "0",
+		"-checkpoint-dir", ckptDir, "-every", "1", "-keep", "4",
+		"-chaos", "stall=1-1000:150ms",
+	}, modelArgs...))
+	if code, _ := post(t, base2, feed); code != 200 {
+		t.Fatalf("spill ingest = %d, want 200 (spill must not shed)", code)
+	}
+	// Kill precondition: with queue 1 at most two windows (one queued,
+	// one in-flight) ever bypassed the WAL; once t ≥ 2 those are
+	// committed, so every unprocessed window is disk-resident.
+	waitFor(t, "committed slices and a durable backlog", func() bool {
+		st := stats(t, base2)
+		ov := st["overload"].(map[string]any)
+		return int(st["t"].(float64)) >= 2 && ov["spill_pending"].(float64) > 0
+	})
+	if err := cmd2.Process.Kill(); err != nil { // SIGKILL: the crash
+		t.Fatal(err)
+	}
+	cmd2.Wait() // "signal: killed" — expected
+
+	// Replay run: clean flags, same directories. The daemon must report
+	// recovered backlog, replay it, and land on the control model.
+	base3, cmd3 := startDaemon(t, bin, append([]string{
+		"-addr", "127.0.0.1:0", "-queue", "1",
+		"-spill-dir", spillDir,
+		"-checkpoint-dir", ckptDir, "-every", "1", "-keep", "4",
+	}, modelArgs...))
+	defer func() {
+		cmd3.Process.Signal(syscall.SIGTERM)
+		cmd3.Wait()
+	}()
+	if n := stats(t, base3)["overload"].(map[string]any)["spill_recovered"].(float64); n == 0 {
+		t.Fatal("restart recovered an empty backlog; the kill proved nothing")
+	}
+	waitFor(t, "replay to finish the stream", func() bool {
+		st := stats(t, base3)
+		ov := st["overload"].(map[string]any)
+		return int(st["t"].(float64)) == 15 && ov["spill_pending"].(float64) == 0
+	})
+	// Let the last publish settle before the byte-for-byte comparison.
+	time.Sleep(100 * time.Millisecond)
+
+	replayFactors := factors(t, base3)
+	for _, key := range []string{"t", "s", "factors"} {
+		if !reflect.DeepEqual(controlFactors[key], replayFactors[key]) {
+			t.Fatalf("replayed %q differs from the uncrashed run:\ncontrol: %v\nreplay:  %v",
+				key, controlFactors[key], replayFactors[key])
+		}
+	}
+}

@@ -11,7 +11,10 @@
 // keep up with, -max-lag sheds windows that have gone stale in the
 // queue, and -degrade arms the lag-aware controller that trades model
 // quality for throughput under sustained overload (and restores full
-// quality once the queue calms). SIGINT/SIGTERM drain gracefully: the
+// quality once the queue calms). With -spill-dir, overflow is never
+// shed at all: it rides a crash-safe on-disk WAL and replays in order,
+// resuming from the newest checkpoint after a crash.
+// SIGINT/SIGTERM drain gracefully: the
 // backlog is flushed (bounded by -drain-timeout), a final checkpoint is
 // written when -checkpoint-dir is set, and the overload counters are
 // reported with -stats. A second signal force-quits.
@@ -26,6 +29,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,26 +62,32 @@ type config struct {
 	drainTimeout  time.Duration
 	windowTimeout time.Duration
 	checkpointDir string
+	spillDir      string
+	spillMaxBytes int64
+	spillFsync    time.Duration
 	stats         bool
 }
 
 func main() {
 	var (
-		dimsFlag  = flag.String("dims", "", "mode lengths of each event's coordinates, comma separated (required)")
-		window    = flag.Int("window", 10000, "events per window/slice")
-		rank      = flag.Int("rank", 8, "decomposition rank")
-		topN      = flag.Int("top", 3, "top rows to print per component")
-		mu        = flag.Float64("mu", 0.95, "forgetting factor")
-		alg       = flag.String("alg", "spcp", "algorithm: baseline, optimized, spcp")
-		queueCap  = flag.Int("queue", 8, "max windows buffered between feed and solver")
-		shed      = flag.String("shed-policy", "block", "full-queue policy: block, drop-newest, drop-oldest, coalesce")
-		maxLag    = flag.Duration("max-lag", 0, "shed windows older than this at solve time (0 = never)")
-		degrade   = flag.Bool("degrade", false, "degrade model quality under sustained overload instead of falling behind")
-		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "max time to flush the backlog on shutdown")
-		windowTO  = flag.Duration("window-timeout", 0, "emit a partial window after this much wall-clock time (0 = count only)")
-		ckptDir   = flag.String("checkpoint-dir", "", "write a crash-safe checkpoint here on graceful shutdown")
-		statsFlag = flag.Bool("stats", false, "print produced/processed/shed/coalesced/rejected counters on exit")
-		showVer   = flag.Bool("version", false, "print version/build information and exit")
+		dimsFlag   = flag.String("dims", "", "mode lengths of each event's coordinates, comma separated (required)")
+		window     = flag.Int("window", 10000, "events per window/slice")
+		rank       = flag.Int("rank", 8, "decomposition rank")
+		topN       = flag.Int("top", 3, "top rows to print per component")
+		mu         = flag.Float64("mu", 0.95, "forgetting factor")
+		alg        = flag.String("alg", "spcp", "algorithm: baseline, optimized, spcp")
+		queueCap   = flag.Int("queue", 8, "max windows buffered between feed and solver")
+		shed       = flag.String("shed-policy", "block", "full-queue policy: block, drop-newest, drop-oldest, coalesce, spill")
+		maxLag     = flag.Duration("max-lag", 0, "shed windows older than this at solve time (0 = never)")
+		degrade    = flag.Bool("degrade", false, "degrade model quality under sustained overload instead of falling behind")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "max time to flush the backlog on shutdown")
+		windowTO   = flag.Duration("window-timeout", 0, "emit a partial window after this much wall-clock time (0 = count only)")
+		ckptDir    = flag.String("checkpoint-dir", "", "restore the newest checkpoint from here at startup and write one on graceful shutdown")
+		spillDir   = flag.String("spill-dir", "", "durable backlog directory: queue overflow spills to a crash-safe WAL here and replays in order (implies -shed-policy spill)")
+		spillMax   = flag.Int64("spill-max-bytes", 0, "cap on the on-disk spill backlog; 0 = unbounded (past the cap overflow is shed)")
+		spillFsync = flag.Duration("spill-fsync-interval", 0, "WAL group-commit window — how much freshly spilled data a hard crash may lose (0 = fsync every window)")
+		statsFlag  = flag.Bool("stats", false, "print produced/processed/shed/coalesced/rejected counters on exit")
+		showVer    = flag.Bool("version", false, "print version/build information and exit")
 	)
 	flag.Parse()
 	if *showVer {
@@ -120,6 +130,9 @@ func main() {
 		drainTimeout:  *drainTO,
 		windowTimeout: *windowTO,
 		checkpointDir: *ckptDir,
+		spillDir:      *spillDir,
+		spillMaxBytes: *spillMax,
+		spillFsync:    *spillFsync,
 		stats:         *statsFlag,
 	})
 	if err != nil {
@@ -156,6 +169,19 @@ func run(ctx context.Context, r io.Reader, w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
+	// A checkpoint directory arms restart: pick up where the last run
+	// (graceful or crashed) left off, so a spilled backlog replays
+	// against the state it was admitted after.
+	if cfg.checkpointDir != "" {
+		switch path, err := spstream.RestoreNewestCheckpoint(cfg.checkpointDir, dec); {
+		case err == nil:
+			fmt.Fprintf(out, "restored checkpoint %s (t=%d)\n", path, dec.T())
+		case errors.Is(err, spstream.ErrNoCheckpoint):
+			// Fresh start.
+		default:
+			return err
+		}
+	}
 
 	pcfg := spstream.IngestConfig{
 		QueueCap:     cfg.queueCap,
@@ -171,6 +197,17 @@ func run(ctx context.Context, r io.Reader, w io.Writer, cfg config) error {
 	}
 	if cfg.degrade {
 		pcfg.Degrade = &spstream.DegradeConfig{MaxLag: cfg.maxLag}
+	}
+	if cfg.spillDir != "" {
+		pcfg.Policy = spstream.ShedSpill
+		pcfg.Spill = &spstream.SpillConfig{
+			Dir:           cfg.spillDir,
+			MaxBytes:      cfg.spillMaxBytes,
+			FsyncInterval: cfg.spillFsync,
+			ReplayFrom:    dec.T(),
+		}
+	} else if cfg.policy == spstream.ShedSpill {
+		return fmt.Errorf("-shed-policy spill requires -spill-dir")
 	}
 	p, err := spstream.NewIngestPipeline(dec, pcfg)
 	if err != nil {

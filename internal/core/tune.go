@@ -156,3 +156,12 @@ func (d *Decomposer) NoteBreaker(opens, probes, sheds int) {
 	d.stats.BreakerProbes += probes
 	d.stats.BreakerSheds += sheds
 }
+
+// NoteSpill folds the durable-backlog counters into the recovery stats
+// (slices diverted to the WAL spill tier, slices replayed back out of
+// it, and the backlog still on disk at drain time).
+func (d *Decomposer) NoteSpill(spilled, replayed, pending int) {
+	d.stats.SpilledSlices += spilled
+	d.stats.SpillReplayed += replayed
+	d.stats.SpillPending = pending
+}

@@ -131,9 +131,17 @@ func (c *Controller) LagEWMA() time.Duration { return c.lagEWMA }
 
 // Observe feeds one post-slice measurement (or one shed event) into
 // the controller: the queue depth just after the pop, the queue
-// capacity, and the slice's admission-to-solve lag. It applies at most
-// one ladder transition per call.
-func (c *Controller) Observe(depth, capacity int, lag time.Duration) {
+// capacity, the slice's admission-to-solve lag, and the durable spill
+// backlog (0 without the Spill policy). It applies at most one ladder
+// transition per call.
+//
+// A growing spill backlog is a lag signal even while the in-memory
+// queue looks healthy: every spilled slice is deferred work, and left
+// alone it fills the disk. Any pending spill is therefore pressure,
+// and calm — the hysteretic path back up the quality ladder — demands
+// the spill tier be fully drained first, so the controller never
+// restores quality while the disk still holds backlog.
+func (c *Controller) Observe(depth, capacity int, lag time.Duration, spillPending int64) {
 	if c.lagEWMA == 0 {
 		c.lagEWMA = lag
 	} else {
@@ -143,8 +151,9 @@ func (c *Controller) Observe(depth, capacity int, lag time.Duration) {
 
 	fill := float64(depth) / float64(capacity)
 	pressure := fill >= c.cfg.HighWater ||
-		(c.cfg.MaxLag > 0 && c.lagEWMA > c.cfg.MaxLag)
-	calm := fill <= c.cfg.LowWater &&
+		(c.cfg.MaxLag > 0 && c.lagEWMA > c.cfg.MaxLag) ||
+		spillPending > 0
+	calm := fill <= c.cfg.LowWater && spillPending == 0 &&
 		(c.cfg.MaxLag == 0 || c.lagEWMA <= c.cfg.MaxLag/2)
 
 	level := int(c.level.Load())

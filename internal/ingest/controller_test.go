@@ -33,7 +33,7 @@ func TestControllerLadderDownAndUp(t *testing.T) {
 
 	// Sustained pressure: full queue every observation.
 	for i := 0; i < 10; i++ {
-		c.Observe(8, 8, time.Millisecond)
+		c.Observe(8, 8, time.Millisecond, 0)
 	}
 	if c.Level() != numLevels-1 {
 		t.Fatalf("level = %d under sustained pressure, want %d", c.Level(), numLevels-1)
@@ -58,7 +58,7 @@ func TestControllerLadderDownAndUp(t *testing.T) {
 	// slices to full quality.
 	bound := (numLevels - 1) * 2
 	for i := 0; i < bound; i++ {
-		c.Observe(0, 8, 0)
+		c.Observe(0, 8, 0, 0)
 	}
 	if c.Level() != 0 {
 		t.Fatalf("level = %d after %d calm slices, want 0", c.Level(), bound)
@@ -83,19 +83,19 @@ func TestControllerHysteresis(t *testing.T) {
 	var ov trace.Overload
 	d := newTestDecomposer(t, core.Options{Algorithm: core.Optimized, MaxIters: 20})
 	c := NewController(d, ControllerConfig{StepUpAfter: 3}, &ov)
-	c.Observe(8, 8, 0) // degrade to 1
+	c.Observe(8, 8, 0, 0) // degrade to 1
 	if c.Level() != 1 {
 		t.Fatalf("level = %d, want 1", c.Level())
 	}
-	c.Observe(0, 8, 0)
-	c.Observe(0, 8, 0)
-	c.Observe(4, 8, 0) // neither calm nor pressure: resets the run
-	c.Observe(0, 8, 0)
-	c.Observe(0, 8, 0)
+	c.Observe(0, 8, 0, 0)
+	c.Observe(0, 8, 0, 0)
+	c.Observe(4, 8, 0, 0) // neither calm nor pressure: resets the run
+	c.Observe(0, 8, 0, 0)
+	c.Observe(0, 8, 0, 0)
 	if c.Level() != 1 {
 		t.Fatalf("level = %d after interrupted calm run, want 1 (hysteresis)", c.Level())
 	}
-	c.Observe(0, 8, 0)
+	c.Observe(0, 8, 0, 0)
 	if c.Level() != 0 {
 		t.Fatalf("level = %d after 3 consecutive calm slices, want 0", c.Level())
 	}
@@ -107,12 +107,12 @@ func TestControllerLagPressure(t *testing.T) {
 	var ov trace.Overload
 	d := newTestDecomposer(t, core.Options{Algorithm: core.Optimized, MaxIters: 20})
 	c := NewController(d, ControllerConfig{MaxLag: 10 * time.Millisecond, LagAlpha: 1}, &ov)
-	c.Observe(0, 8, 50*time.Millisecond)
+	c.Observe(0, 8, 50*time.Millisecond, 0)
 	if c.Level() != 1 {
 		t.Fatalf("level = %d with lag 5× MaxLag, want 1", c.Level())
 	}
 	// Calm needs lag ≤ MaxLag/2 as well as a shallow queue.
-	c.Observe(0, 8, 8*time.Millisecond)
+	c.Observe(0, 8, 8*time.Millisecond, 0)
 	if got := c.LagEWMA(); got != 8*time.Millisecond {
 		t.Fatalf("LagEWMA = %v with α=1, want 8ms", got)
 	}
@@ -126,7 +126,7 @@ func TestControllerConstrainedFallback(t *testing.T) {
 	d := newTestDecomposer(t, core.Options{Algorithm: core.Optimized, Constraint: admm.NonNeg{}, MaxIters: 20, ADMMMaxIters: 40})
 	c := NewController(d, ControllerConfig{StepUpAfter: 1}, &ov)
 	for i := 0; i < numLevels; i++ {
-		c.Observe(8, 8, 0)
+		c.Observe(8, 8, 0, 0)
 	}
 	if d.Algorithm() != core.Optimized {
 		t.Fatalf("constrained decomposer switched to %v", d.Algorithm())
@@ -135,9 +135,55 @@ func TestControllerConstrainedFallback(t *testing.T) {
 		t.Fatalf("constrained fallback iters = %d/%d, want 5/10", d.MaxIters(), d.ADMMMaxIters())
 	}
 	for i := 0; i < numLevels; i++ {
-		c.Observe(0, 8, 0)
+		c.Observe(0, 8, 0, 0)
 	}
 	if d.MaxIters() != 20 || d.ADMMMaxIters() != 40 || c.Level() != 0 {
 		t.Fatalf("constrained restore = %d/%d level %d", d.MaxIters(), d.ADMMMaxIters(), c.Level())
+	}
+}
+
+// TestControllerSpillPressure: a growing durable backlog is lag the
+// queue depth cannot see — the disk absorbs the overflow, so the queue
+// looks shallow while the backlog (and the disk bill) grows. The
+// controller must treat any spill backlog as pressure and must not
+// restore quality until the backlog has fully drained.
+func TestControllerSpillPressure(t *testing.T) {
+	var ov trace.Overload
+	d := newTestDecomposer(t, core.Options{Algorithm: core.Optimized, MaxIters: 20})
+	c := NewController(d, ControllerConfig{StepUpAfter: 1}, &ov)
+
+	// Empty queue + spilled backlog: step down anyway.
+	c.Observe(0, 8, 0, 500)
+	if c.Level() != 1 {
+		t.Fatalf("level = %d with a 500-slice spill backlog, want 1", c.Level())
+	}
+
+	// A backlog that persists keeps the pressure on — the controller
+	// walks the whole ladder before the disk fills, even though the
+	// in-memory queue never looks busy.
+	for i := 0; i < numLevels; i++ {
+		c.Observe(0, 8, 0, 300)
+	}
+	if c.Level() != numLevels-1 {
+		t.Fatalf("level = %d under a sustained backlog, want %d", c.Level(), numLevels-1)
+	}
+
+	// The queue has calmed but the disk hasn't: any remaining backlog
+	// blocks the restore — the hysteretic path drains the spill tier
+	// first.
+	for i := 0; i < 5; i++ {
+		c.Observe(0, 8, 0, 3)
+	}
+	if c.Level() != numLevels-1 {
+		t.Fatalf("level = %d while the backlog still drains, want %d (restore must wait)", c.Level(), numLevels-1)
+	}
+
+	// Backlog gone: calm observations (StepUpAfter=1, one per rung)
+	// restore full quality.
+	for i := 0; i < numLevels-1; i++ {
+		c.Observe(0, 8, 0, 0)
+	}
+	if c.Level() != 0 || d.MaxIters() != 20 {
+		t.Fatalf("level = %d iters = %d after the backlog drained, want 0/20", c.Level(), d.MaxIters())
 	}
 }

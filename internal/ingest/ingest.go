@@ -17,6 +17,13 @@
 // operator can tell "the model skipped data" apart from "the model
 // aggregated data" (the Coalesce policy merges pending windows into
 // one coarser slice — events aggregated, not lost).
+//
+// The Spill policy adds a durable tier: overflow goes to a write-ahead
+// log (internal/ingest/wal) and is replayed as capacity frees — or
+// after a crash — extending the invariant to
+//
+//	produced + spill_recovered ==
+//	    processed + failed + coalesced + shed + spill_pending
 package ingest
 
 import "fmt"
@@ -40,6 +47,19 @@ const (
 	// (events aggregated into one coarser window), so the queue stays
 	// bounded without losing any event mass.
 	Coalesce
+	// Spill overflows a full queue to a durable on-disk write-ahead log
+	// (Config.Spill) instead of dropping or blocking: memory stays
+	// bounded at QueueCap windows, no event is lost, and the backlog
+	// survives a crash — a restart replays unconsumed segments. The
+	// only lossy path is the WAL itself failing (disk full, write
+	// fault), counted separately as ShedSpill. The accounting invariant
+	// extends to
+	//
+	//	produced + spill_recovered ==
+	//	    processed + failed + coalesced + shed + spill_pending
+	//
+	// where spill_pending is the durable backlog still on disk.
+	Spill
 )
 
 // String names the policy.
@@ -53,13 +73,15 @@ func (p ShedPolicy) String() string {
 		return "drop-oldest"
 	case Coalesce:
 		return "coalesce"
+	case Spill:
+		return "spill"
 	default:
 		return fmt.Sprintf("ShedPolicy(%d)", int(p))
 	}
 }
 
-// ParseShedPolicy parses "block", "drop-newest", "drop-oldest", or
-// "coalesce".
+// ParseShedPolicy parses "block", "drop-newest", "drop-oldest",
+// "coalesce", or "spill".
 func ParseShedPolicy(s string) (ShedPolicy, error) {
 	switch s {
 	case "block":
@@ -70,7 +92,9 @@ func ParseShedPolicy(s string) (ShedPolicy, error) {
 		return DropOldest, nil
 	case "coalesce":
 		return Coalesce, nil
+	case "spill":
+		return Spill, nil
 	default:
-		return Block, fmt.Errorf("ingest: unknown shed policy %q (want block, drop-newest, drop-oldest, coalesce)", s)
+		return Block, fmt.Errorf("ingest: unknown shed policy %q (want block, drop-newest, drop-oldest, coalesce, spill)", s)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"spstream/internal/core"
@@ -21,6 +22,12 @@ type Processor interface {
 // core.Decomposer.
 type overloadNoter interface {
 	NoteOverload(shed, coalesced, stale, drained int)
+}
+
+// spillNoter folds the durable-backlog counters into the decomposer's
+// recovery stats at drain time; implemented by core.Decomposer.
+type spillNoter interface {
+	NoteSpill(spilled, replayed, pending int)
 }
 
 // ErrDraining is returned by Offer once Drain has begun (or the
@@ -82,6 +89,9 @@ type Config struct {
 	// accounting invariant produced == processed+failed+coalesced+shed
 	// exact across breaker-open phases.
 	Gate func() bool
+	// Spill configures the durable on-disk backlog; required by (and
+	// only meaningful with) the Spill policy.
+	Spill *SpillConfig
 }
 
 // Pipeline is the bounded, overload-robust conveyor between a slice
@@ -96,9 +106,16 @@ type Pipeline struct {
 	proc     Processor
 	ctrl     *Controller
 	q        *queue
+	sp       *spiller
 	ov       trace.Overload
 	clock    func() time.Time
 	realTime bool
+
+	// consumedSeq is the highest WAL sequence number of a slice the
+	// consumer fully finished (processed, failed, or stale-shed —
+	// outcomes an uncrashed run would reproduce). SpillMark binds it to
+	// a checkpoint so replay after a crash is exactly-once.
+	consumedSeq atomic.Uint64
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -127,6 +144,18 @@ func New(proc Processor, cfg Config) (*Pipeline, error) {
 		p.ctrl = NewController(tun, *cfg.Degrade, &p.ov)
 	}
 	p.q = newQueue(cfg.QueueCap, cfg.Policy, p.clock, &p.ov)
+	if cfg.Policy == Spill {
+		if cfg.Spill == nil {
+			return nil, errors.New("ingest: Spill policy requires Config.Spill")
+		}
+		sp, err := newSpiller(*cfg.Spill, p.q, &p.ov, p.clock)
+		if err != nil {
+			return nil, err
+		}
+		p.sp = sp
+	} else if cfg.Spill != nil {
+		return nil, fmt.Errorf("ingest: Config.Spill is only valid with the Spill policy, got %v", cfg.Policy)
+	}
 	p.done = make(chan struct{})
 	return p, nil
 }
@@ -135,6 +164,9 @@ func New(proc Processor, cfg Config) (*Pipeline, error) {
 // future work (an emergency stop); use Drain for a graceful shutdown.
 func (p *Pipeline) Start(ctx context.Context) {
 	ctx, p.cancel = context.WithCancel(ctx)
+	if p.sp != nil {
+		p.sp.start()
+	}
 	go p.loop(ctx)
 }
 
@@ -172,6 +204,15 @@ func (p *Pipeline) admit(x *sptensor.Tensor) error {
 		p.ov.ShedBreaker.Add(1)
 		return ErrGateClosed
 	}
+	if p.sp != nil {
+		if p.q.isClosed() {
+			p.ov.ShedDrain.Add(1)
+			return ErrDraining
+		}
+		// Queue if room and no backlog ahead, else durably to the WAL;
+		// an error means the slice could not be made durable (shed).
+		return p.sp.admit(x)
+	}
 	if !p.q.push(x) {
 		// push already classified the slice (shed or coalesced); the
 		// producer-visible errors are a closed queue and a DropNewest
@@ -207,6 +248,60 @@ func (p *Pipeline) Level() int {
 // Depth returns the current queue backlog, in slices.
 func (p *Pipeline) Depth() int { return p.q.depth() }
 
+// SpillPending returns the durable backlog not yet re-admitted to the
+// queue (0 without the Spill policy).
+func (p *Pipeline) SpillPending() int64 {
+	if p.sp == nil {
+		return 0
+	}
+	return int64(p.sp.pending())
+}
+
+// SpillDiskBytes returns the WAL's on-disk footprint (0 without the
+// Spill policy).
+func (p *Pipeline) SpillDiskBytes() int64 {
+	if p.sp == nil {
+		return 0
+	}
+	return p.sp.log.DiskBytes()
+}
+
+// SpillMark durably binds the checkpoint about to be written at slice
+// counter t to the pipeline's spill-consumption progress. Call it
+// immediately BEFORE writing checkpoint t: if the process dies between
+// the two writes, restore falls back to an older checkpoint whose
+// offset record is retained, and replay stays exactly-once with
+// respect to committed slices. A pipeline without the Spill policy
+// returns nil.
+func (p *Pipeline) SpillMark(t int) error {
+	if p.sp == nil {
+		return nil
+	}
+	return p.sp.commitOffset(t, p.consumedSeq.Load())
+}
+
+// Kill is the crash simulation used by the durability tests: it stops
+// the consumer and refiller immediately and closes the WAL WITHOUT
+// flushing the group commit or committing an offset — exactly the
+// state a SIGKILL leaves behind. Production shutdown is Drain.
+func (p *Pipeline) Kill() {
+	started := p.cancel != nil
+	if started {
+		p.cancel()
+	}
+	p.q.kill()
+	if p.sp != nil {
+		p.sp.kill()
+		if started {
+			p.sp.wait()
+		}
+		p.sp.abort()
+	}
+	if started {
+		<-p.done
+	}
+}
+
 // Stats snapshots the overload counters.
 func (p *Pipeline) Stats() trace.OverloadSnapshot { return p.ov.Snapshot() }
 
@@ -237,6 +332,7 @@ func (p *Pipeline) consume(ctx context.Context, it item) {
 		// spending solver time on a window the feed has already
 		// outrun.
 		p.ov.ShedStale.Add(1)
+		p.markConsumed(it)
 		p.observe(lag)
 		return
 	}
@@ -250,6 +346,7 @@ func (p *Pipeline) consume(ctx context.Context, it item) {
 	switch {
 	case err == nil:
 		p.ov.Processed.Add(1)
+		p.markConsumed(it)
 		if p.cfg.OnResult != nil {
 			p.cfg.OnResult(res)
 		}
@@ -257,18 +354,23 @@ func (p *Pipeline) consume(ctx context.Context, it item) {
 		// The propagated lag deadline expired mid-solve: the slice is
 		// stale, same accounting as shedding it before the solve.
 		p.ov.ShedStale.Add(1)
+		p.markConsumed(it)
 		if p.cfg.OnError != nil {
 			p.cfg.OnError(err)
 		}
 	case ctx.Err() != nil:
 		// Emergency stop: the item was popped but not completed; count
-		// it with the drain sheds so the accounting stays exact.
+		// it with the drain sheds so the accounting stays exact. The
+		// consumed mark is NOT advanced — a spilled slice stopped
+		// mid-solve stays below any committed offset and replays after
+		// restart.
 		p.ov.ShedDrain.Add(1)
 		return
 	default:
 		// Solver error (or a slice skipped by the resilience policy):
 		// absorbed, counted, stream continues.
 		p.ov.Failed.Add(1)
+		p.markConsumed(it)
 		if p.cfg.OnError != nil {
 			p.cfg.OnError(err)
 		}
@@ -276,10 +378,22 @@ func (p *Pipeline) consume(ctx context.Context, it item) {
 	p.observe(p.clock().Sub(it.admitted))
 }
 
+// markConsumed records that a slice's outcome is final. For spilled
+// slices this advances the replay offset candidate: an outcome an
+// uncrashed run would reproduce (processed into state; failed or
+// stale-shed and skipped) must not replay after a crash, or recovery
+// diverges from the uncrashed run.
+func (p *Pipeline) markConsumed(it item) {
+	if it.walSeq > p.consumedSeq.Load() {
+		// Single consumer goroutine: plain store ordering is enough.
+		p.consumedSeq.Store(it.walSeq)
+	}
+}
+
 // observe feeds the controller (when armed) one measurement.
 func (p *Pipeline) observe(lag time.Duration) {
 	if p.ctrl != nil {
-		p.ctrl.Observe(p.q.depth(), p.cfg.QueueCap, lag)
+		p.ctrl.Observe(p.q.depth(), p.cfg.QueueCap, lag, p.SpillPending())
 	}
 }
 
@@ -293,6 +407,12 @@ func (p *Pipeline) observe(lag time.Duration) {
 func (p *Pipeline) Drain(ctx context.Context) trace.OverloadSnapshot {
 	preDrain := p.ov.Processed.Load()
 	p.q.close()
+	if p.sp != nil {
+		// No more spills are coming; the refiller flushes the durable
+		// backlog into the queue and exits, which lets the consumer's
+		// pop report exhaustion.
+		p.sp.closeAdmissions()
+	}
 	timer := time.NewTimer(p.cfg.DrainTimeout)
 	defer timer.Stop()
 	graceful := false
@@ -303,22 +423,56 @@ func (p *Pipeline) Drain(ctx context.Context) trace.OverloadSnapshot {
 	case <-ctx.Done():
 	}
 	if !graceful {
-		// Deadline: stop the consumer, then account the backlog.
+		// Deadline: stop the consumer and refiller, then account the
+		// backlog. Direct-queued slices are shed; spilled slices are
+		// returned to the durable backlog — they are on disk below any
+		// committed offset, so the next run replays them instead.
 		if p.cancel != nil {
 			p.cancel()
 		}
+		if p.sp != nil {
+			// Wake a refiller blocked waiting for queue space, then
+			// wait it out; its in-flight record stays durable on disk.
+			p.q.kill()
+			p.sp.kill()
+			p.sp.wait()
+		}
 		<-p.done
 		for {
-			if _, ok := p.q.tryPop(); !ok {
+			it, ok := p.q.tryPop()
+			if !ok {
 				break
 			}
-			p.ov.ShedDrain.Add(1)
+			if it.walSeq > 0 {
+				p.sp.requeue()
+			} else {
+				p.ov.ShedDrain.Add(1)
+			}
+		}
+	} else if p.sp != nil {
+		p.sp.wait()
+	}
+	if p.sp != nil {
+		// Bind the final consumption point to the processor's slice
+		// counter so a restart does not replay slices this run already
+		// committed, then flush and close the WAL. Callers writing a
+		// final checkpoint after Drain (the serving layer) re-commit
+		// the same pair via SpillMark first — both orders are safe
+		// because the offset always precedes its checkpoint.
+		if t, ok := p.proc.(interface{ T() int }); ok {
+			_ = p.sp.commitOffset(t.T(), p.consumedSeq.Load())
+		}
+		if err := p.sp.close(); err != nil && p.cfg.OnError != nil {
+			p.cfg.OnError(err)
 		}
 	}
 	snap := p.ov.Snapshot()
 	if n, ok := p.proc.(overloadNoter); ok {
 		n.NoteOverload(int(snap.Shed()), int(snap.Coalesced), int(snap.ShedStale),
 			int(snap.Processed-preDrain))
+		if sn, ok := p.proc.(spillNoter); ok && p.sp != nil {
+			sn.NoteSpill(int(snap.Spilled), int(snap.SpillDrained), int(snap.SpillPending()))
+		}
 	}
 	return snap
 }

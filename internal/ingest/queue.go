@@ -17,6 +17,11 @@ type item struct {
 	// coalesced counts how many later slices were merged into this one
 	// under the Coalesce policy.
 	coalesced int
+	// walSeq is the WAL sequence number of a slice that took the spill
+	// tier (0 for slices that entered the queue directly). The consumer
+	// tracks the highest fully-consumed walSeq so checkpoint offsets
+	// make replay after a crash exactly-once.
+	walSeq uint64
 }
 
 // queue is the bounded, policy-aware buffer between producer and
@@ -32,8 +37,16 @@ type queue struct {
 	capacity int
 	policy   ShedPolicy
 	closed   bool
-	clock    func() time.Time
-	ov       *trace.Overload
+	// killed is the emergency stop: refillers give up instead of
+	// waiting for space and pop stops delivering.
+	killed bool
+	// refillers counts registered backlog refillers (the spill tier's
+	// reader). While one is registered, pop treats an empty closed
+	// queue as "more coming" rather than "done" — the drain must
+	// consume the durable backlog too.
+	refillers int
+	clock     func() time.Time
+	ov        *trace.Overload
 }
 
 func newQueue(capacity int, policy ShedPolicy, clock func() time.Time, ov *trace.Overload) *queue {
@@ -95,12 +108,64 @@ func (q *queue) push(x *sptensor.Tensor) bool {
 	return true
 }
 
+// tryPush enqueues x only when there is room and admissions are open,
+// with no shed-policy accounting: a false return means the caller (the
+// spill tier) keeps responsibility for the slice.
+func (q *queue) tryPush(x *sptensor.Tensor) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.buf) == q.capacity {
+		return false
+	}
+	q.buf = append(q.buf, item{slice: x, admitted: q.clock()})
+	q.ov.RaiseHighWater(int64(len(q.buf)))
+	q.notEmpty.Signal()
+	return true
+}
+
+// refillPush re-admits a slice read back from the durable backlog. It
+// waits for space like Block does, but ignores the admission close —
+// a graceful drain keeps refilling until the backlog is flushed. A
+// false return means the queue was killed (emergency stop) and the
+// item was not enqueued; it stays durable on disk.
+func (q *queue) refillPush(it item) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == q.capacity && !q.killed {
+		q.notFull.Wait()
+	}
+	if q.killed {
+		return false
+	}
+	q.buf = append(q.buf, it)
+	q.ov.RaiseHighWater(int64(len(q.buf)))
+	q.notEmpty.Signal()
+	return true
+}
+
+// addRefiller registers a backlog refiller; pop will not report
+// exhaustion while one is registered.
+func (q *queue) addRefiller() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.refillers++
+}
+
+// refillerDone deregisters a refiller and wakes the consumer so a
+// drain can complete.
+func (q *queue) refillerDone() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.refillers--
+	q.notEmpty.Broadcast()
+}
+
 // pop removes the oldest queued slice, blocking until one is available
-// or the queue is closed and empty (ok=false).
+// or the queue is closed, refiller-free and empty (ok=false).
 func (q *queue) pop() (item, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.buf) == 0 && !q.closed {
+	for len(q.buf) == 0 && !q.killed && !(q.closed && q.refillers == 0) {
 		q.notEmpty.Wait()
 	}
 	if len(q.buf) == 0 {
@@ -132,6 +197,17 @@ func (q *queue) close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// kill is the emergency stop: admissions close AND refillers stop
+// waiting for space. Queued items remain poppable for accounting.
+func (q *queue) kill() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.killed = true
 	q.notFull.Broadcast()
 	q.notEmpty.Broadcast()
 }

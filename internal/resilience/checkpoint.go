@@ -45,7 +45,25 @@ func NewManager(dir string, every, keep int) (*Manager, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	sweepStaleTemps(dir)
 	return &Manager{dir: dir, every: every, keep: keep}, nil
+}
+
+// sweepStaleTemps deletes temp files a crashed AtomicWriteFile left
+// behind (".<name>.tmp-*"). They are invisible to ListCheckpoints but
+// would otherwise accumulate forever, one per crash mid-write. Startup
+// is the only safe moment: no writer is mid-rename.
+func sweepStaleTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
 }
 
 // Dir returns the checkpoint directory.

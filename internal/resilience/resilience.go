@@ -237,6 +237,18 @@ type Stats struct {
 	// from the queue-policy and staleness sheds in OverloadSheds'
 	// accounting.
 	BreakerSheds int
+	// SpilledSlices counts slices diverted to the durable on-disk WAL
+	// backlog under the Spill shed policy instead of being dropped.
+	SpilledSlices int
+	// SpillReplayed counts slices read back from the WAL backlog into
+	// the queue — both live drain as capacity freed and startup replay
+	// after a crash.
+	SpillReplayed int
+	// SpillPending is the durable backlog still on disk when the stats
+	// were folded: spilled (plus crash-recovered) minus replayed. These
+	// slices are not lost — they are processed when capacity frees or
+	// after a restart.
+	SpillPending int
 }
 
 // renameFile is the rename step of AtomicWriteFile, indirected so the
@@ -276,6 +288,13 @@ func AtomicWriteFile(path string, write func(io.Writer) error) error {
 	}
 	return syncDir(dir)
 }
+
+// SyncDir fsyncs a directory, making a just-renamed or just-created
+// entry durable. Filesystems that refuse to fsync directories (some
+// network mounts) degrade to rename-only durability rather than
+// failing the write. Exported for the ingest WAL, which follows the
+// same create/rotate discipline for its segment files.
+func SyncDir(dir string) error { return syncDir(dir) }
 
 // syncDir fsyncs a directory, making a just-renamed entry durable.
 // Filesystems that refuse to fsync directories (some network mounts)

@@ -135,3 +135,32 @@ func TestListCheckpointsIgnoresForeignFiles(t *testing.T) {
 		t.Fatalf("ListCheckpoints = %v", cks)
 	}
 }
+
+// TestNewManagerSweepsStaleTemps: a crash between AtomicWriteFile's
+// temp write and its rename leaves a hidden ".…tmp-*" orphan; the next
+// startup must delete it without touching real checkpoints or foreign
+// files.
+func TestNewManagerSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".ckpt-000000007.spstrm.tmp-1234567")
+	if err := os.WriteFile(stale, []byte("half-written checkpoint"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	keep := []string{"ckpt-000000003.spstrm", "notes.txt"}
+	for _, name := range keep {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewManager(dir, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived the startup sweep (stat err: %v)", err)
+	}
+	for _, name := range keep {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("sweep deleted %s: %v", name, err)
+		}
+	}
+}

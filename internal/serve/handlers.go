@@ -307,16 +307,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Probes:              int(bs.Probes),
 		},
 		Overload: map[string]int64{
-			"produced":     ov.Produced,
-			"processed":    ov.Processed,
-			"failed":       ov.Failed,
-			"shed_newest":  ov.ShedNewest,
-			"shed_oldest":  ov.ShedOldest,
-			"shed_stale":   ov.ShedStale,
-			"shed_drain":   ov.ShedDrain,
-			"shed_breaker": ov.ShedBreaker,
-			"coalesced":    ov.Coalesced,
-			"queue_high":   ov.QueueHighWater,
+			"produced":        ov.Produced,
+			"processed":       ov.Processed,
+			"failed":          ov.Failed,
+			"shed_newest":     ov.ShedNewest,
+			"shed_oldest":     ov.ShedOldest,
+			"shed_stale":      ov.ShedStale,
+			"shed_drain":      ov.ShedDrain,
+			"shed_breaker":    ov.ShedBreaker,
+			"coalesced":       ov.Coalesced,
+			"queue_high":      ov.QueueHighWater,
+			"spilled":         ov.Spilled,
+			"spill_recovered": ov.SpillRecovered,
+			"spill_drained":   ov.SpillDrained,
+			"spill_pending":   ov.SpillPending(),
+			"spill_bytes":     ov.SpillBytes,
+			"shed_spill":      ov.ShedSpill,
 		},
 		Resilience: view.Resilience,
 		Layout: layoutStats{

@@ -42,6 +42,18 @@ type Config struct {
 	MaxLag       time.Duration
 	DrainTimeout time.Duration
 
+	// SpillDir, when set, switches the shed policy to Spill: queue
+	// overflow is appended to a crash-safe WAL under this directory and
+	// replayed in admission order as capacity frees, instead of being
+	// shed with a 429. Keep it on the same filesystem as CheckpointDir.
+	// SpillMaxBytes caps the on-disk backlog (0 = unbounded; past the
+	// cap overflow is shed again). SpillFsyncInterval is the WAL
+	// group-commit window — how much freshly spilled data a hard crash
+	// may lose; zero fsyncs every spilled window.
+	SpillDir           string
+	SpillMaxBytes      int64
+	SpillFsyncInterval time.Duration
+
 	// CheckpointDir, when set, arms crash-safe checkpointing: restore
 	// the newest checkpoint at startup, write every CheckpointEvery
 	// committed slices (default 10, keeping CheckpointKeep files,
@@ -81,6 +93,11 @@ func (c Config) withDefaults() Config {
 		// Blocking admission would turn queue pressure into hung HTTP
 		// requests; shedding + 429 is the serving-layer contract.
 		c.Policy = ingest.DropNewest
+	}
+	if c.SpillDir != "" {
+		// A spill directory arms the durable backlog: overflow rides the
+		// WAL instead of being shed.
+		c.Policy = ingest.Spill
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
@@ -195,17 +212,35 @@ func New(cfg Config) (*Server, error) {
 		s.snap.Store(TakeSnapshot(s.dec, res.Fit))
 	})
 
+	// The durable backlog replays from the offset bound to the restored
+	// checkpoint, so a restart neither re-solves committed slices nor
+	// drops admitted ones.
+	var spill *ingest.SpillConfig
+	if cfg.SpillDir != "" {
+		spill = &ingest.SpillConfig{
+			Dir:           cfg.SpillDir,
+			MaxBytes:      cfg.SpillMaxBytes,
+			FsyncInterval: cfg.SpillFsyncInterval,
+			ReplayFrom:    s.dec.T(),
+		}
+	}
 	s.pipe, err = ingest.New(s.dec, ingest.Config{
 		QueueCap:     cfg.QueueCap,
 		Policy:       cfg.Policy,
 		MaxLag:       cfg.MaxLag,
 		DrainTimeout: cfg.DrainTimeout,
+		Spill:        spill,
 		Gate:         s.breaker.Allow,
 		OnResult:     s.onResult,
 		OnError:      s.onError,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if spill != nil {
+		if n := s.pipe.Stats().SpillRecovered; n > 0 {
+			cfg.Logf("spill: recovered %d durable backlog slices (replay bound to t=%d)", n, spill.ReplayFrom)
+		}
 	}
 
 	// The pre-stream snapshot: reads before the first committed slice
@@ -223,7 +258,16 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) onResult(res core.SliceResult) {
 	s.breaker.OnSuccess()
 	if s.ckpt != nil {
-		if _, err := s.ckpt.MaybeWrite(s.dec.T(), s.dec); err != nil {
+		t := s.dec.T()
+		// The replay/offset protocol: durably bind the spill-consumption
+		// offset BEFORE the checkpoint that depends on it, and only when a
+		// checkpoint is actually due (each mark costs an fsync).
+		if t > 0 && t%s.cfg.CheckpointEvery == 0 {
+			if err := s.pipe.SpillMark(t); err != nil {
+				s.cfg.Logf("spill offset commit failed: %v", err)
+			}
+		}
+		if _, err := s.ckpt.MaybeWrite(t, s.dec); err != nil {
 			s.cfg.Logf("checkpoint write failed: %v", err)
 		}
 	}

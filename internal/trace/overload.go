@@ -47,12 +47,37 @@ type Overload struct {
 	// LagEWMANanos is the exponentially weighted admission-to-solve lag
 	// gauge, in nanoseconds.
 	LagEWMANanos atomic.Int64
+	// Spilled counts slices diverted to the durable on-disk WAL backlog
+	// under the Spill shed policy (not lost: replayed later).
+	Spilled atomic.Int64
+	// SpillRecovered counts spilled slices found on disk at startup and
+	// re-admitted into this run's accounting (they were Produced in a
+	// previous process life, so they join the left side of the
+	// invariant).
+	SpillRecovered atomic.Int64
+	// SpillDrained counts spilled slices read back off disk into the
+	// in-memory queue.
+	SpillDrained atomic.Int64
+	// ShedSpill counts slices that could not be made durable — the WAL
+	// hit its byte budget (ErrFull), the disk returned ENOSPC, or the
+	// slice failed to encode — and were dropped. The only lossy path
+	// under the Spill policy.
+	ShedSpill atomic.Int64
+	// SpillBytes counts bytes appended to the WAL (payloads + framing).
+	SpillBytes atomic.Int64
 }
 
 // Shed returns the total slices shed across every cause.
 func (o *Overload) Shed() int64 {
 	return o.ShedNewest.Load() + o.ShedOldest.Load() + o.ShedStale.Load() +
-		o.ShedDrain.Load() + o.ShedBreaker.Load()
+		o.ShedDrain.Load() + o.ShedBreaker.Load() + o.ShedSpill.Load()
+}
+
+// SpillPending returns the durable backlog not yet re-admitted to the
+// queue: spilled this run, plus recovered from a previous run, minus
+// drained back.
+func (o *Overload) SpillPending() int64 {
+	return o.Spilled.Load() + o.SpillRecovered.Load() - o.SpillDrained.Load()
 }
 
 // RaiseHighWater lifts QueueHighWater to depth if it is a new maximum.
@@ -70,9 +95,11 @@ func (o *Overload) RaiseHighWater(depth int64) {
 type OverloadSnapshot struct {
 	Produced, Processed, Failed                int64
 	ShedNewest, ShedOldest, ShedStale          int64
-	ShedDrain, ShedBreaker                     int64
+	ShedDrain, ShedBreaker, ShedSpill          int64
 	Coalesced, CoalescedEvents                 int64
 	DegradeSteps, RestoreSteps, QueueHighWater int64
+	Spilled, SpillRecovered, SpillDrained      int64
+	SpillBytes                                 int64
 	LagEWMA                                    time.Duration
 }
 
@@ -87,6 +114,11 @@ func (o *Overload) Snapshot() OverloadSnapshot {
 		ShedStale:       o.ShedStale.Load(),
 		ShedDrain:       o.ShedDrain.Load(),
 		ShedBreaker:     o.ShedBreaker.Load(),
+		ShedSpill:       o.ShedSpill.Load(),
+		Spilled:         o.Spilled.Load(),
+		SpillRecovered:  o.SpillRecovered.Load(),
+		SpillDrained:    o.SpillDrained.Load(),
+		SpillBytes:      o.SpillBytes.Load(),
 		Coalesced:       o.Coalesced.Load(),
 		CoalescedEvents: o.CoalescedEvents.Load(),
 		DegradeSteps:    o.DegradeSteps.Load(),
@@ -98,12 +130,19 @@ func (o *Overload) Snapshot() OverloadSnapshot {
 
 // Shed returns the snapshot's total shed count.
 func (s OverloadSnapshot) Shed() int64 {
-	return s.ShedNewest + s.ShedOldest + s.ShedStale + s.ShedDrain + s.ShedBreaker
+	return s.ShedNewest + s.ShedOldest + s.ShedStale + s.ShedDrain + s.ShedBreaker + s.ShedSpill
+}
+
+// SpillPending returns the snapshot's durable backlog not yet
+// re-admitted to the queue.
+func (s OverloadSnapshot) SpillPending() int64 {
+	return s.Spilled + s.SpillRecovered - s.SpillDrained
 }
 
 // String renders the snapshot as one stats line.
 func (s OverloadSnapshot) String() string {
-	return fmt.Sprintf("produced=%d processed=%d failed=%d shed=%d (newest=%d oldest=%d stale=%d drain=%d breaker=%d) coalesced=%d (+%d events) degrade=%d restore=%d highwater=%d lag-ewma=%v",
-		s.Produced, s.Processed, s.Failed, s.Shed(), s.ShedNewest, s.ShedOldest, s.ShedStale, s.ShedDrain, s.ShedBreaker,
-		s.Coalesced, s.CoalescedEvents, s.DegradeSteps, s.RestoreSteps, s.QueueHighWater, s.LagEWMA.Round(time.Microsecond))
+	return fmt.Sprintf("produced=%d processed=%d failed=%d shed=%d (newest=%d oldest=%d stale=%d drain=%d breaker=%d spill=%d) coalesced=%d (+%d events) spilled=%d (recovered=%d drained=%d pending=%d bytes=%d) degrade=%d restore=%d highwater=%d lag-ewma=%v",
+		s.Produced, s.Processed, s.Failed, s.Shed(), s.ShedNewest, s.ShedOldest, s.ShedStale, s.ShedDrain, s.ShedBreaker, s.ShedSpill,
+		s.Coalesced, s.CoalescedEvents, s.Spilled, s.SpillRecovered, s.SpillDrained, s.SpillPending(), s.SpillBytes,
+		s.DegradeSteps, s.RestoreSteps, s.QueueHighWater, s.LagEWMA.Round(time.Microsecond))
 }

@@ -97,6 +97,11 @@ type (
 	// DegradeConfig tunes the lag-aware degradation controller
 	// (IngestConfig.Degrade).
 	DegradeConfig = ingest.ControllerConfig
+	// SpillConfig configures the durable spill-to-disk backlog
+	// (IngestConfig.Spill, required by ShedSpill): WAL directory, disk
+	// budget, group-commit window, and the checkpoint counter to replay
+	// from after a crash.
+	SpillConfig = ingest.SpillConfig
 	// OverloadStats is a point-in-time snapshot of the overload
 	// counters (produced, processed, shed, coalesced, …).
 	OverloadStats = trace.OverloadSnapshot
@@ -123,6 +128,10 @@ const (
 	// ShedCoalesce merges the incoming slice into the newest queued
 	// one — no events lost, coarser windows.
 	ShedCoalesce = ingest.Coalesce
+	// ShedSpill appends overflow to a crash-safe on-disk WAL
+	// (IngestConfig.Spill) and replays it in admission order as
+	// capacity frees — nothing is lost, memory stays bounded.
+	ShedSpill = ingest.Spill
 )
 
 // NewIngestPipeline wraps a decomposer (or any Processor) in a bounded
@@ -132,8 +141,8 @@ func NewIngestPipeline(proc ingest.Processor, cfg IngestConfig) (*IngestPipeline
 	return ingest.New(proc, cfg)
 }
 
-// ParseShedPolicy parses "block", "drop-newest", "drop-oldest" or
-// "coalesce" (flag values).
+// ParseShedPolicy parses "block", "drop-newest", "drop-oldest",
+// "coalesce" or "spill" (flag values).
 func ParseShedPolicy(s string) (ShedPolicy, error) { return ingest.ParseShedPolicy(s) }
 
 // ErrIngestDraining is returned by IngestPipeline.Offer after Drain has
