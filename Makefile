@@ -10,7 +10,7 @@ LDFLAGS   = -ldflags "-X spstream/internal/version.Version=$(VERSION) \
 	-X spstream/internal/version.Commit=$(COMMIT) \
 	-X spstream/internal/version.BuildDate=$(BUILDDATE)"
 
-.PHONY: all build test race cover bench bench-skew bench-compare benchcmp bench-go threshold lint repro repro-measure fuzz e2e wal-chaos clean
+.PHONY: all build test race cover bench bench-skew bench-compare benchcmp bench-go threshold lint repro repro-measure fuzz e2e wal-chaos cluster-chaos clean
 
 all: build test
 
@@ -92,6 +92,15 @@ wal-chaos:
 	$(GO) test -race -run 'TestSpill|TestShortWrite|TestFailedSync|TestTorn|TestENOSPC' -v ./internal/ingest/ ./internal/resilience/faultinject/
 	$(GO) test -race ./internal/ingest/wal/
 	$(GO) test -race -run 'TestWALSIGKILLReplay' -v ./cmd/spstreamd/
+
+# Sharded-cluster chaos: real binaries, 3 shards behind the gateway,
+# SIGKILL one mid-stream, assert degraded-but-available reads (partial
+# merges with exact missing row ranges), restart the shard (WAL +
+# checkpoint replay) and prove the merged model is bit-identical to an
+# uncrashed single-node control — all under the race detector.
+cluster-chaos:
+	$(GO) test -race -run 'TestClusterChaos' -v ./cmd/spstream-gateway/
+	$(GO) test -race ./internal/cluster/ ./internal/serve/httpx/
 
 fuzz:
 	$(GO) test -fuzz FuzzReadTNS -fuzztime 30s ./internal/sptensor/

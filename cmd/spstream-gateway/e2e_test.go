@@ -1,0 +1,361 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClusterChaos is the headline end-to-end proof of the sharded
+// serving layer, with real binaries and real crashes:
+//
+//  1. A 3-shard cluster (dims 12,9 → row blocks [0,4) [4,8) [8,12))
+//     behind the gateway ingests 6 rounds of events; a single-node
+//     control daemon ingests shard 1's exact substream in parallel.
+//  2. Shard 1 — running with a stalled solver, queue 1, and the PR 7
+//     durable spill WAL — is SIGKILLed mid-stream with committed
+//     slices and a non-empty disk backlog.
+//  3. Degraded availability: merged reads answer 200 with
+//     "partial": true and exactly the missing row block [4,8); point
+//     reads for dead rows refuse with 503; /readyz stays ready.
+//  4. 4 more rounds flow during the outage: live shards advance,
+//     shard 1's share queues at the gateway (nothing shed, nothing
+//     lost — the forward ledger stays exact).
+//  5. Shard 1 restarts on its old address with clean flags: WAL +
+//     checkpoint replay (PR 7) meets the gateway's redelivered
+//     backlog, in order.
+//  6. Exactness: shard 1's final factors are bit-identical to the
+//     never-crashed control's, the merged read goes whole again, and
+//     a gateway point read equals the control's reconstruction
+//     bit-for-bit.
+func TestClusterChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds and runs the daemon and gateway binaries")
+	}
+	tmp := t.TempDir()
+	gwBin := filepath.Join(tmp, "spstream-gateway")
+	shardBin := filepath.Join(tmp, "spstreamd")
+	for bin, dir := range map[string]string{gwBin: ".", shardBin: "../spstreamd"} {
+		build := exec.Command("go", "build", "-race", "-o", bin, dir)
+		build.Env = append(os.Environ(), "CGO_ENABLED=1")
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", dir, err, out)
+		}
+	}
+
+	// Geometry: dims 12,9, window 4, 3 shards. Each round carries
+	// exactly one window (4 events) per shard, so window boundaries are
+	// identical however rounds are batched — the property that makes
+	// the control comparison exact.
+	const (
+		shards  = 3
+		rounds1 = 6 // healthy rounds before the crash
+		rounds2 = 4 // rounds during the outage
+	)
+	modelArgs := []string{"-dims", "12,9", "-rank", "3", "-window", "4"}
+
+	// roundBody interleaves one event per shard per step; the shard-1
+	// substream (rows 5..8, 1-based) is the i-ascending subsequence.
+	roundBody := func(r int, only int) string {
+		var b strings.Builder
+		for i := 0; i < 4; i++ {
+			for s := 0; s < shards; s++ {
+				if only >= 0 && s != only {
+					continue
+				}
+				row := 4*s + i + 1
+				col := (r*4+i)%9 + 1
+				fmt.Fprintf(&b, "%d %d %g\n", row, col, float64(r+1)+float64(i)*0.25+float64(s)*0.125)
+			}
+		}
+		return b.String()
+	}
+
+	// Shard 1 gets the crash treatment: stalled solver, queue 1, spill
+	// WAL, checkpoint every slice. Shards 0/2 just run.
+	ckptDir, spillDir := t.TempDir(), t.TempDir()
+	shard1Args := func(extra ...string) []string {
+		args := append([]string{
+			"-queue", "1", "-shed-policy", "spill",
+			"-spill-dir", spillDir, "-spill-fsync-interval", "0",
+			"-checkpoint-dir", ckptDir, "-every", "1", "-keep", "4",
+			"-shard-id", "1", "-shard-count", "3",
+		}, modelArgs...)
+		return append(args, extra...)
+	}
+	shardBase := make([]string, shards)
+	shardCmd := make([]*exec.Cmd, shards)
+	for s := 0; s < shards; s++ {
+		if s == 1 {
+			shardBase[s], shardCmd[s] = startProc(t, shardBin,
+				shard1Args("-addr", "127.0.0.1:0", "-chaos", "stall=1-1000:250ms"))
+			continue
+		}
+		shardBase[s], shardCmd[s] = startProc(t, shardBin, append([]string{
+			"-addr", "127.0.0.1:0", "-queue", "64",
+			"-shard-id", fmt.Sprint(s), "-shard-count", "3",
+		}, modelArgs...))
+	}
+
+	// The control: a plain single-node daemon fed shard 1's substream.
+	controlBase, controlCmd := startProc(t, shardBin, append([]string{
+		"-addr", "127.0.0.1:0", "-queue", "64",
+	}, modelArgs...))
+	defer func() {
+		controlCmd.Process.Signal(syscall.SIGTERM)
+		controlCmd.Wait()
+	}()
+
+	gwBase, _ := startProc(t, gwBin, []string{
+		"-addr", "127.0.0.1:0", "-dims", "12,9",
+		"-shards", strings.Join(shardBase, ","),
+		"-queue", "4096", "-send-retries", "0",
+		"-probe-interval", "200ms",
+		"-breaker-failures", "2", "-breaker-cooldown", "300ms",
+		"-backoff-base", "50ms", "-backoff-cap", "500ms",
+		"-request-timeout", "3s", "-drain-timeout", "20s",
+	})
+
+	// Phase 1: healthy rounds through the gateway, the same shard-1
+	// substream to the control.
+	for r := 0; r < rounds1; r++ {
+		if code, _ := post(t, gwBase, roundBody(r, -1)); code != http.StatusOK {
+			t.Fatalf("healthy round %d = %d, want 200", r, code)
+		}
+		if code, _ := post(t, controlBase, roundBody(r, 1)); code != http.StatusOK {
+			t.Fatalf("control round %d = %d, want 200", r, code)
+		}
+	}
+	produced1 := int64(rounds1 * 4 * shards)
+	waitFor(t, "phase-1 forwards to settle", func() bool {
+		ov := getJSON(t, gwBase, "/v1/stats")["overload"].(map[string]any)
+		return int64(ov["forwarded"].(float64)) == produced1 && ov["pending"].(float64) == 0
+	})
+
+	// Phase 2: SIGKILL shard 1 once the kill is provably dirty —
+	// committed slices exist (a checkpoint to restore) and ≥2 windows
+	// sit durable in the WAL (a backlog to replay). No drain, no
+	// flush: with queue 1 and -every 1, everything unprocessed is
+	// disk-resident.
+	waitFor(t, "shard 1 to have a checkpoint and a durable backlog", func() bool {
+		st := getJSON(t, shardBase[1], "/v1/stats")
+		ov := st["overload"].(map[string]any)
+		return int(st["t"].(float64)) >= 2 && ov["spill_pending"].(float64) >= 2
+	})
+	if err := shardCmd[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	shardCmd[1].Wait() // "signal: killed" — expected
+
+	// Phase 3: the gateway notices (probes open the breaker) and reads
+	// degrade instead of failing.
+	waitFor(t, "gateway to open shard 1's breaker", func() bool {
+		sh := getJSON(t, gwBase, "/v1/stats")["shards"].([]any)
+		return sh[1].(map[string]any)["breaker"] == "open"
+	})
+	fdoc := getJSON(t, gwBase, "/v1/factors")
+	if fdoc["partial"] != true {
+		t.Fatalf("degraded factors not partial: %v", fdoc["partial"])
+	}
+	missing := fdoc["missing"].([]any)
+	if len(missing) != 1 {
+		t.Fatalf("missing = %v, want exactly shard 1's block", missing)
+	}
+	m0 := missing[0].(map[string]any)
+	if m0["shard"] != float64(1) || m0["row_lo"] != float64(4) || m0["row_hi"] != float64(8) {
+		t.Fatalf("missing block = %v, want shard 1 rows [4,8)", m0)
+	}
+	if code := get(t, gwBase, "/readyz"); code != http.StatusOK {
+		t.Fatalf("degraded readyz = %d, want 200 (degraded is still available)", code)
+	}
+	if code := get(t, gwBase, "/v1/reconstruct?coord=6,3"); code != http.StatusServiceUnavailable {
+		t.Fatalf("point read of a dead row = %d, want 503", code)
+	}
+	if code := get(t, gwBase, "/v1/reconstruct?coord=1,3"); code != http.StatusOK {
+		t.Fatalf("point read of a live row = %d, want 200", code)
+	}
+
+	// Phase 4: the stream keeps flowing during the outage. Shard 1's
+	// share queues at the gateway; nothing is shed.
+	for r := rounds1; r < rounds1+rounds2; r++ {
+		if code, _ := post(t, gwBase, roundBody(r, -1)); code != http.StatusOK {
+			t.Fatalf("outage round %d = %d, want 200", r, code)
+		}
+		if code, _ := post(t, controlBase, roundBody(r, 1)); code != http.StatusOK {
+			t.Fatalf("control round %d = %d, want 200", r, code)
+		}
+	}
+	producedAll := int64((rounds1 + rounds2) * 4 * shards)
+	ov := getJSON(t, gwBase, "/v1/stats")["overload"].(map[string]any)
+	if int64(ov["produced"].(float64)) != producedAll || ov["shed"].(float64) != 0 || ov["failed"].(float64) != 0 {
+		t.Fatalf("outage ledger = %v, want produced=%d shed=0 failed=0", ov, producedAll)
+	}
+	if ov["pending"].(float64) == 0 {
+		t.Fatal("no backlog pending for the dead shard; the outage proved nothing")
+	}
+
+	// Phase 5: restart shard 1 on its old address with clean flags.
+	// Checkpoint restore + WAL replay (PR 7) reconstructs the
+	// pre-crash stream position; the gateway's probe heals the breaker
+	// and the sender redelivers the outage backlog in order.
+	addr1 := strings.TrimPrefix(shardBase[1], "http://")
+	base1b, cmd1b := startProc(t, shardBin, shard1Args("-addr", addr1))
+	defer func() {
+		cmd1b.Process.Signal(syscall.SIGTERM)
+		cmd1b.Wait()
+	}()
+	if n := getJSON(t, base1b, "/v1/stats")["overload"].(map[string]any)["spill_recovered"].(float64); n == 0 {
+		t.Fatal("restart recovered an empty backlog; the kill was not dirty")
+	}
+	waitFor(t, "the redelivered backlog to drain end to end", func() bool {
+		ov := getJSON(t, gwBase, "/v1/stats")["overload"].(map[string]any)
+		return int64(ov["forwarded"].(float64)) == producedAll && ov["pending"].(float64) == 0
+	})
+	wantT := rounds1 + rounds2
+	waitFor(t, "shard 1 to finish the whole substream", func() bool {
+		st := getJSON(t, base1b, "/v1/stats")
+		return int(st["t"].(float64)) == wantT &&
+			st["overload"].(map[string]any)["spill_pending"].(float64) == 0
+	})
+	waitFor(t, "the control to finish the substream", func() bool {
+		return int(getJSON(t, controlBase, "/v1/stats")["t"].(float64)) == wantT
+	})
+	time.Sleep(100 * time.Millisecond) // let the last publish settle
+
+	// Phase 6: exactness. The crashed-and-recovered shard serves the
+	// same bits as the never-crashed control.
+	controlFactors := getJSON(t, controlBase, "/v1/factors")
+	shardFactors := getJSON(t, base1b, "/v1/factors")
+	for _, key := range []string{"t", "s", "factors"} {
+		if !reflect.DeepEqual(controlFactors[key], shardFactors[key]) {
+			t.Fatalf("recovered shard %q differs from the uncrashed control:\ncontrol: %v\nshard:   %v",
+				key, controlFactors[key], shardFactors[key])
+		}
+	}
+	// The merged read is whole again, and shard 1's rows in it are the
+	// control's rows, bit for bit.
+	merged := getJSON(t, gwBase, "/v1/factors")
+	if merged["partial"] != false {
+		t.Fatalf("post-recovery merged read still partial: %v", merged["missing"])
+	}
+	mode0 := merged["mode0"].([]any)
+	controlMode0 := controlFactors["factors"].([]any)[0].([]any)
+	for i := 4; i < 8; i++ {
+		if !reflect.DeepEqual(mode0[i], controlMode0[i]) {
+			t.Fatalf("merged row %d = %v, control has %v", i, mode0[i], controlMode0[i])
+		}
+	}
+	// And a point read through the gateway reconstructs identically.
+	gwPoint := getJSON(t, gwBase, "/v1/reconstruct?coord=6,3")
+	ctlPoint := getJSON(t, controlBase, "/v1/reconstruct?coord=6,3")
+	if gwPoint["value"] != ctlPoint["value"] {
+		t.Fatalf("gateway point read %v != control %v", gwPoint["value"], ctlPoint["value"])
+	}
+	if gwPoint["shard"] != float64(1) {
+		t.Fatalf("point read served by %v, want the recovered shard 1", gwPoint["shard"])
+	}
+}
+
+// startProc launches a daemon or gateway binary and parses its
+// "listening on" line.
+func startProc(t *testing.T, bin string, args []string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	addr := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.LastIndex(line, "listening on "); i >= 0 {
+				addr <- strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+	}()
+	select {
+	case a := <-addr:
+		return "http://" + a, cmd
+	case <-time.After(15 * time.Second):
+		t.Fatal("process never printed its listen address")
+		return "", nil
+	}
+}
+
+func post(t *testing.T, base, body string) (int, http.Header) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/ingest", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/ingest: %v", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header
+}
+
+func get(t *testing.T, base, path string) int {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, base, path string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	io.Copy(&buf, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, buf.String())
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", path, err)
+	}
+	return m
+}
+
+// waitFor polls cond (≤20s) — cluster transitions are asserted by
+// polling, not exact timing, so scheduling noise cannot flake the
+// phases.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"spstream/internal/cluster"
 	"spstream/internal/core"
 	"spstream/internal/ingest"
 	"spstream/internal/resilience"
@@ -82,6 +83,9 @@ func main() {
 		bodyLimit = flag.Int64("body-limit", 8<<20, "max request body bytes")
 		reqTO     = flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline")
 
+		shardID    = flag.Int("shard-id", -1, "this daemon's shard index in a row-sharded cluster (requires -shard-count)")
+		shardCount = flag.Int("shard-count", 0, "total shards in the cluster; 0 = standalone (see cmd/spstream-gateway)")
+
 		chaos   = flag.String("chaos", "", "fault injection spec for testing, e.g. \"fail=3-5\" or \"stall=2-2:200ms\" (begin-attempt ordinals, 1-based)")
 		showVer = flag.Bool("version", false, "print version/build information and exit")
 	)
@@ -93,6 +97,21 @@ func main() {
 	dims, err := parseDims(*dimsFlag)
 	if err != nil {
 		fatal(err)
+	}
+	// Shard identity is derived from the same router arithmetic the
+	// gateway uses, so the daemon's self-reported row block in /v1/stats
+	// can be audited against the gateway's routing table.
+	var shardInfo *serve.ShardInfo
+	if *shardCount > 0 || *shardID >= 0 {
+		if *shardCount < 1 || *shardID < 0 || *shardID >= *shardCount {
+			fatal(fmt.Errorf("-shard-id %d with -shard-count %d: need 0 <= id < count", *shardID, *shardCount))
+		}
+		router, err := cluster.NewRouter(dims, *shardCount)
+		if err != nil {
+			fatal(err)
+		}
+		lo, hi := router.Block(*shardID)
+		shardInfo = &serve.ShardInfo{ID: *shardID, Count: *shardCount, RowLo: lo, RowHi: hi}
 	}
 	algorithm, err := parseAlg(*alg)
 	if err != nil {
@@ -147,6 +166,7 @@ func main() {
 		BreakerCooldown:    *brkCool,
 		BodyLimit:          *bodyLimit,
 		RequestTimeout:     *reqTO,
+		Shard:              shardInfo,
 		Version:            version.String(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "spstreamd: "+format+"\n", args...)

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"spstream/internal/serve/httpx"
+)
+
+// ShardClient is the gateway's HTTP client for one spstreamd shard.
+// It classifies responses for the retry machinery; it does not retry
+// itself.
+type ShardClient struct {
+	// Base is the shard's base URL, e.g. "http://127.0.0.1:9001".
+	Base string
+	// HTTP issues the requests; per-call deadlines come from the
+	// context, not the client.
+	HTTP *http.Client
+}
+
+// IngestOutcome classifies one forward attempt against a shard.
+//
+// The load-bearing bit is Consumed. spstreamd's ingest handler renders
+// the accepted/rejected ledger (an "accepted" key) on every status
+// where the body was parsed and absorbed into the accumulator — 200,
+// 429 (a window shed past admission), 503 with the breaker gate
+// closed — and an {"error": …} envelope on every status where it was
+// not (400, 413, 500, 503 draining). A consumed batch must NEVER be
+// resent: the events are already in the shard's accumulator or WAL,
+// and redelivery would double-ingest them. Only !Consumed outcomes
+// (and transport errors, where PostIngest returns err) are retryable.
+type IngestOutcome struct {
+	Consumed bool
+	Status   int
+	// Ledger fields, valid when Consumed.
+	Accepted, Rejected int
+	Windows, Shed      int
+	FirstRejectedLine  int
+	FirstRejectedError string
+	// RetryAfter is the shard's parsed Retry-After header (0 if absent).
+	RetryAfter time.Duration
+	// ErrorMsg is the error envelope's message when !Consumed.
+	ErrorMsg string
+}
+
+// ingestWire is the union of spstreamd's ingest response shapes. The
+// pointer on Accepted distinguishes "ledger present" from "envelope".
+type ingestWire struct {
+	Accepted           *int   `json:"accepted"`
+	Rejected           int    `json:"rejected"`
+	Windows            int    `json:"windows_emitted"`
+	Shed               int    `json:"windows_shed"`
+	FirstRejectedLine  int    `json:"first_rejected_line"`
+	FirstRejectedError string `json:"first_rejected_error"`
+	Error              string `json:"error"`
+}
+
+// PostIngest forwards one rendered event body to the shard. A non-nil
+// error means the request never produced an HTTP response (dial
+// failure, timeout, connection reset mid-body) — the batch state is
+// unknown and the caller decides whether to redeliver (at-least-once).
+func (c *ShardClient) PostIngest(ctx context.Context, body []byte, flush bool) (IngestOutcome, error) {
+	url := c.Base + "/v1/ingest"
+	if flush {
+		url += "?flush=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return IngestOutcome{}, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return IngestOutcome{}, err
+	}
+	defer resp.Body.Close()
+
+	out := IngestOutcome{Status: resp.StatusCode}
+	if ra, ok := httpx.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		out.RetryAfter = ra
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		// Status arrived but the body was cut off. 2xx means the shard
+		// finished the handler, so the ledger existed; we lost only its
+		// numbers. Treat as consumed with an empty ledger rather than
+		// redelivering a batch the shard definitely absorbed.
+		if resp.StatusCode/100 == 2 {
+			out.Consumed = true
+			return out, nil
+		}
+		return IngestOutcome{}, fmt.Errorf("reading shard response: %w", err)
+	}
+	var wire ingestWire
+	if jsonErr := json.Unmarshal(raw, &wire); jsonErr == nil && wire.Accepted != nil {
+		out.Consumed = true
+		out.Accepted = *wire.Accepted
+		out.Rejected = wire.Rejected
+		out.Windows = wire.Windows
+		out.Shed = wire.Shed
+		out.FirstRejectedLine = wire.FirstRejectedLine
+		out.FirstRejectedError = wire.FirstRejectedError
+		return out, nil
+	} else if jsonErr == nil && wire.Error != "" {
+		out.ErrorMsg = wire.Error
+	} else {
+		out.ErrorMsg = fmt.Sprintf("unrecognized shard response (%d bytes)", len(raw))
+	}
+	if resp.StatusCode/100 == 2 {
+		// Defensive: a 2xx whose body we cannot classify still means the
+		// handler ran to completion — never redeliver.
+		out.Consumed = true
+	}
+	return out, nil
+}
+
+// StatusError is a non-200 response to a read. RetryAfter carries the
+// shard's backoff hint when it sent one.
+type StatusError struct {
+	Status     int
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("shard returned %d: %s", e.Status, e.Msg)
+}
+
+// GetJSON fetches path from the shard and decodes a 200 body into out.
+// Any other status is returned as a *StatusError and out is untouched
+// — a 503's error envelope must never be mistaken for data.
+func (c *ShardClient) GetJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Status: resp.StatusCode}
+		if ra, ok := httpx.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			se.RetryAfter = ra
+		}
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+			se.Msg = envelope.Error
+		} else {
+			se.Msg = http.StatusText(resp.StatusCode)
+		}
+		return se
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Ready probes the shard's /readyz endpoint.
+func (c *ShardClient) Ready(ctx context.Context) error {
+	return c.GetJSON(ctx, "/readyz", &struct{}{})
+}

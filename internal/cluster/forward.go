@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"spstream/internal/sptensor"
+)
+
+// batch is one shard's share of one ingest request: the events the
+// router assigned to it, in arrival order, plus whether the request
+// asked the shard to flush its partial window.
+type batch struct {
+	events []sptensor.Event
+	flush  bool
+}
+
+// renderBody serializes a batch back into spstreamd's wire format —
+// one "i j k value" line per event, 1-based coordinates (internal
+// coordinates are 0-based).
+func renderBody(events []sptensor.Event) []byte {
+	var b strings.Builder
+	for _, ev := range events {
+		for m, c := range ev.Coord {
+			if m > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", c+1)
+		}
+		fmt.Fprintf(&b, " %g\n", ev.Value)
+	}
+	return []byte(b.String())
+}
+
+// forwardQueue is the bounded per-shard FIFO between the gateway's
+// ingest handlers and that shard's single sender goroutine. One sender
+// per shard is the ordering guarantee: a batch is never sent before an
+// earlier batch for the same shard has been delivered or declared
+// dead, so redelivery retries cannot reorder a shard's substream.
+//
+// The bound is in events (not batches) because events are what the
+// overload ledger counts; a full queue sheds at push with exact
+// accounting rather than blocking an HTTP handler.
+type forwardQueue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	items     []batch
+	events    int
+	capEvents int
+	closed    bool // drain: no new pushes, pop drains the backlog
+	killed    bool // drain deadline: pop hands back leftovers without blocking
+}
+
+func newForwardQueue(capEvents int) *forwardQueue {
+	q := &forwardQueue{capEvents: capEvents}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues b, reporting false when the queue is full (the caller
+// sheds and accounts the events) or no longer accepting. A batch
+// larger than the whole cap is admitted only into an empty queue, so
+// an oversized request degrades to serialized delivery instead of
+// being permanently unforwardable.
+func (q *forwardQueue) push(b batch) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.killed {
+		return false
+	}
+	if q.events+len(b.events) > q.capEvents && q.events > 0 {
+		return false
+	}
+	q.items = append(q.items, b)
+	q.events += len(b.events)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next batch. It returns false only when the queue
+// is finished: closed (or killed) with nothing left. After kill it
+// never blocks — remaining batches come back immediately so the sender
+// can account them as drain-shed.
+func (q *forwardQueue) pop() (batch, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed && !q.killed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return batch{}, false
+	}
+	b := q.items[0]
+	q.items = q.items[1:]
+	q.events -= len(b.events)
+	return b, true
+}
+
+// close stops new pushes; pop still drains the backlog (graceful
+// shutdown phase one).
+func (q *forwardQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// kill stops new pushes and unblocks pop permanently (drain deadline
+// expired; leftovers are shed, not delivered).
+func (q *forwardQueue) kill() {
+	q.mu.Lock()
+	q.killed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// depth reports the queued backlog.
+func (q *forwardQueue) depth() (batches, events int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items), q.events
+}

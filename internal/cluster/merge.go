@@ -1,0 +1,128 @@
+package cluster
+
+// This file is the cluster's merge math. The cluster model is additive
+// over mode-0 row blocks: shard s trains a full spCP-stream model on
+// the substream of events whose mode-0 row it owns, so its factors are
+// only supported on rows [lo_s, hi_s) of mode 0 (rows it never saw
+// keep their initial state and never meet data). The global model is
+//
+//	X̂ = Σ_s X̂_s,   X̂_s supported on mode-0 rows [lo_s, hi_s),
+//
+// which makes the merges exact, not approximate:
+//
+//   - Point reads route to the one shard owning the row.
+//   - The global mode-0 factor is the row-block concatenation of each
+//     shard's owned rows (MergeMode0).
+//   - The global model energy splits over disjoint supports,
+//     ‖X̂‖² = Σ_s ‖X̂_s‖², and each shard term collapses to a K×K
+//     Gram/Hadamard contraction (BlockNorm2) instead of a sum over
+//     Π dims entries.
+
+// BlockNorm2 computes ‖X̂‖² of one shard's model restricted to its
+// owned mode-0 rows [lo, hi):
+//
+//	‖X̂‖² = sᵀ (G₀ ∘ G₁ ∘ … ∘ G_{M-1}) s,
+//	G₀ = A₀[lo:hi]ᵀ A₀[lo:hi],   G_m = A_mᵀ A_m (m ≥ 1),
+//
+// the standard Khatri-Rao Gram identity with the mode-0 Gram taken
+// over the block only. factors is mode → rows → K (the /v1/factors
+// wire layout); s is the temporal row sₜ.
+func BlockNorm2(factors [][][]float64, s []float64, lo, hi int) float64 {
+	K := len(s)
+	if K == 0 || len(factors) == 0 {
+		return 0
+	}
+	// H starts as s sᵀ and accumulates one Gram Hadamard-product per
+	// mode; the final answer is the sum of its entries.
+	H := make([]float64, K*K)
+	for k := 0; k < K; k++ {
+		for l := 0; l < K; l++ {
+			H[k*K+l] = s[k] * s[l]
+		}
+	}
+	G := make([]float64, K*K)
+	for m, f := range factors {
+		rlo, rhi := 0, len(f)
+		if m == 0 {
+			rlo, rhi = lo, hi
+			if rlo < 0 {
+				rlo = 0
+			}
+			if rhi > len(f) {
+				rhi = len(f)
+			}
+		}
+		for i := range G {
+			G[i] = 0
+		}
+		for i := rlo; i < rhi; i++ {
+			row := f[i]
+			if len(row) < K {
+				continue // malformed row; contributes nothing
+			}
+			for k := 0; k < K; k++ {
+				rk := row[k]
+				if rk == 0 {
+					continue
+				}
+				for l := 0; l < K; l++ {
+					G[k*K+l] += rk * row[l]
+				}
+			}
+		}
+		for i := range H {
+			H[i] *= G[i]
+		}
+	}
+	sum := 0.0
+	for _, v := range H {
+		sum += v
+	}
+	return sum
+}
+
+// RowRange is a contiguous [Lo, Hi) range of global mode-0 rows,
+// tagged with the shard that owns it. The gateway's degraded-read
+// contract reports missing coverage as a list of these.
+type RowRange struct {
+	Shard int `json:"shard"`
+	Lo    int `json:"row_lo"`
+	Hi    int `json:"row_hi"`
+}
+
+// MergeMode0 assembles the global mode-0 factor from per-shard factor
+// matrices (mode-0 rows × K, full height dims[0] each): rows
+// [lo_s, hi_s) come from shard s's matrix. A nil entry marks an
+// unreachable shard; its rows are left zero and its non-empty block is
+// reported in missing, so a caller can tell real zeros from absent
+// coverage. Rows a present shard's matrix does not reach (truncated
+// response) are also reported missing.
+func MergeMode0(r *Router, perShard [][][]float64, rank int) (rows [][]float64, missing []RowRange) {
+	d := r.Dims()[0]
+	rows = make([][]float64, d)
+	for i := range rows {
+		rows[i] = make([]float64, rank)
+	}
+	for s := 0; s < r.Shards(); s++ {
+		lo, hi := r.Block(s)
+		if lo == hi {
+			continue // empty block: nothing owed, nothing missing
+		}
+		if s >= len(perShard) || perShard[s] == nil {
+			missing = append(missing, RowRange{Shard: s, Lo: lo, Hi: hi})
+			continue
+		}
+		f := perShard[s]
+		covered := hi
+		if covered > len(f) {
+			covered = len(f)
+		}
+		for i := lo; i < covered; i++ {
+			copy(rows[i], f[i])
+		}
+		if covered < hi {
+			missing = append(missing, RowRange{Shard: s, Lo: covered, Hi: hi})
+		}
+	}
+	return rows, missing
+}

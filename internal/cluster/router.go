@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+
+	"spstream/internal/sptensor"
+)
+
+// Router deterministically assigns events to shards by the mode-0
+// coordinate (the first non-streaming mode) over contiguous row
+// blocks: shard s of n owns rows [⌊s·d/n⌋, ⌊(s+1)·d/n⌋) of mode 0,
+// where d = dims[0]. Contiguous blocks are the communication-minimal
+// partition for MTTKRP-style access (Ballard/Rouse/Knight), and they
+// make the factor merge a concatenation and the Gram merge a K×K sum.
+//
+// The assignment is pure integer arithmetic on (row, d, n) — no seeds,
+// no maps, no floating point — so it is stable across process
+// restarts, hosts, and Go versions: the same event always lands on the
+// same shard, which is what lets a restarted shard's WAL replay meet
+// the gateway's redelivered backlog without reshuffling rows.
+type Router struct {
+	dims []int
+	n    int
+}
+
+// NewRouter builds a router for n shards over tensors of the given
+// mode lengths.
+func NewRouter(dims []int, n int) (*Router, error) {
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 modes, got %d", len(dims))
+	}
+	for m, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("cluster: bad dim %d for mode %d", d, m)
+		}
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", n)
+	}
+	return &Router{dims: append([]int(nil), dims...), n: n}, nil
+}
+
+// Shards returns the shard count n.
+func (r *Router) Shards() int { return r.n }
+
+// Dims returns a copy of the mode lengths.
+func (r *Router) Dims() []int { return append([]int(nil), r.dims...) }
+
+// Block returns the contiguous mode-0 row range [lo, hi) owned by
+// shard s (0-based, half-open). Blocks tile [0, dims[0]) in shard
+// order with no gaps or overlaps; when dims[0] < n some blocks are
+// empty (lo == hi).
+func (r *Router) Block(s int) (lo, hi int) {
+	d := r.dims[0]
+	return s * d / r.n, (s + 1) * d / r.n
+}
+
+// ShardForRow returns the shard owning mode-0 row i — the exact
+// inverse of Block: the unique s with Block(s).lo ≤ i < Block(s).hi.
+func (r *Router) ShardForRow(i int) int {
+	return ((i+1)*r.n - 1) / r.dims[0]
+}
+
+// ShardFor validates ev against the router's dims (coordinate count
+// and per-mode bounds) and returns its owning shard.
+func (r *Router) ShardFor(ev sptensor.Event) (int, error) {
+	if len(ev.Coord) != len(r.dims) {
+		return 0, fmt.Errorf("cluster: want %d coordinates, got %d", len(r.dims), len(ev.Coord))
+	}
+	for m, c := range ev.Coord {
+		if c < 0 || int(c) >= r.dims[m] {
+			return 0, fmt.Errorf("cluster: coordinate %d out of range for mode %d (dim %d)", c, m, r.dims[m])
+		}
+	}
+	return r.ShardForRow(int(ev.Coord[0])), nil
+}
+
+// Partition buckets events by owning shard, preserving order within
+// each bucket. It is all-or-nothing: any event that fails validation
+// aborts the whole partition with zero batches, so a malformed batch
+// can never be half-forwarded — accepted by some shards and rejected
+// by the validation here after others already saw their share.
+func (r *Router) Partition(events []sptensor.Event) ([][]sptensor.Event, error) {
+	batches := make([][]sptensor.Event, r.n)
+	for i, ev := range events {
+		s, err := r.ShardFor(ev)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		batches[s] = append(batches[s], ev)
+	}
+	return batches, nil
+}

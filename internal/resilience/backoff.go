@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BackoffConfig parameterizes the shared retry ladder used wherever
+// this system retries an upstream: capped exponential growth with
+// symmetric jitter, and an exact override when the upstream supplied a
+// Retry-After hint. The zero value is usable.
+type BackoffConfig struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Cap is the ceiling for every delay, including Retry-After
+	// overrides (default 15s). An upstream cannot park a retry loop for
+	// an hour by sending an absurd hint.
+	Cap time.Duration
+	// Jitter is the symmetric jitter fraction in [0,1): each ladder
+	// delay is scaled by a uniform factor in [1−Jitter, 1+Jitter] so N
+	// producers refused at the same instant do not retry in lockstep.
+	// Default 0.2; negative disables jitter.
+	Jitter float64
+	// Rand replaces the uniform [0,1) source (deterministic tests).
+	Rand func() float64
+}
+
+// withDefaults fills zero fields.
+func (c BackoffConfig) withDefaults() BackoffConfig {
+	if c.Base <= 0 {
+		c.Base = 100 * time.Millisecond
+	}
+	if c.Cap <= 0 {
+		c.Cap = 15 * time.Second
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.Jitter >= 1 {
+		c.Jitter = 0.999
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
+	if c.Base > c.Cap {
+		c.Base = c.Cap
+	}
+	return c
+}
+
+// Backoff computes retry delays. Safe for concurrent use when Rand is
+// (the default math/rand source is).
+type Backoff struct {
+	cfg BackoffConfig
+}
+
+// NewBackoff builds a ladder from cfg (zero value ok).
+func NewBackoff(cfg BackoffConfig) *Backoff {
+	return &Backoff{cfg: cfg.withDefaults()}
+}
+
+// Delay returns how long to wait before retry `attempt` (0-based):
+// Base·2^attempt with jitter, capped at Cap. When the upstream sent a
+// Retry-After hint (retryAfter > 0) it is honored exactly — no jitter,
+// no ladder — clamped only by Cap: the upstream knows its own cooldown
+// better than our schedule does.
+func (b *Backoff) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > b.cfg.Cap {
+			return b.cfg.Cap
+		}
+		return retryAfter
+	}
+	d := b.cfg.Base
+	for i := 0; i < attempt && d < b.cfg.Cap; i++ {
+		d *= 2
+	}
+	if d > b.cfg.Cap {
+		d = b.cfg.Cap
+	}
+	if j := b.cfg.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 + j*(2*b.cfg.Rand()-1)))
+		if d > b.cfg.Cap {
+			d = b.cfg.Cap
+		}
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// Config exposes the resolved (defaulted) configuration.
+func (b *Backoff) Config() BackoffConfig { return b.cfg }
+
+// NewBreakers builds n independent breakers sharing one configuration —
+// the construction for a gateway fronting n upstream shards, where each
+// upstream's health must trip its own circuit without affecting its
+// peers.
+func NewBreakers(n int, cfg BreakerConfig) []*Breaker {
+	bs := make([]*Breaker, n)
+	for i := range bs {
+		bs[i] = NewBreaker(cfg)
+	}
+	return bs
+}

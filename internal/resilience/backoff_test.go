@@ -1,0 +1,124 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedRand returns a Rand hook that always yields u.
+func fixedRand(u float64) func() float64 {
+	return func() float64 { return u }
+}
+
+// TestBackoffLadder pins the deterministic ladder: with jitter disabled
+// (Rand = 0.5 → scale 1.0 under symmetric jitter), delays double from
+// Base and saturate at Cap.
+func TestBackoffLadder(t *testing.T) {
+	b := NewBackoff(BackoffConfig{
+		Base:   100 * time.Millisecond,
+		Cap:    2 * time.Second,
+		Jitter: 0.2,
+		Rand:   fixedRand(0.5), // 1 + 0.2·(2·0.5−1) = exactly 1.0
+	})
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second, // stays capped
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt, 0); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// Huge attempt ordinals must not overflow past the cap.
+	if got := b.Delay(500, 0); got != 2*time.Second {
+		t.Errorf("Delay(500) = %v, want cap", got)
+	}
+}
+
+// TestBackoffJitterBounds sweeps the Rand extremes: every delay stays
+// within [d·(1−J), d·(1+J)] and never exceeds Cap.
+func TestBackoffJitterBounds(t *testing.T) {
+	const jitter = 0.25
+	base, ceiling := 100*time.Millisecond, 10*time.Second
+	for _, u := range []float64{0, 0.25, 0.5, 0.75, 0.999999} {
+		b := NewBackoff(BackoffConfig{Base: base, Cap: ceiling, Jitter: jitter, Rand: fixedRand(u)})
+		for attempt := 0; attempt < 8; attempt++ {
+			ideal := base << attempt
+			if ideal > ceiling {
+				ideal = ceiling
+			}
+			lo := time.Duration(float64(ideal) * (1 - jitter))
+			hi := time.Duration(float64(ideal) * (1 + jitter))
+			if hi > ceiling {
+				hi = ceiling
+			}
+			got := b.Delay(attempt, 0)
+			if got < lo || got > hi {
+				t.Errorf("u=%v Delay(%d) = %v, want in [%v, %v]", u, attempt, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestBackoffRetryAfterOverride: an upstream Retry-After hint replaces
+// the ladder exactly — no jitter, any attempt ordinal — clamped only by
+// Cap.
+func TestBackoffRetryAfterOverride(t *testing.T) {
+	b := NewBackoff(BackoffConfig{
+		Base:   100 * time.Millisecond,
+		Cap:    5 * time.Second,
+		Jitter: 0.5,
+		Rand:   fixedRand(0.999), // would inflate ladder delays, must not touch overrides
+	})
+	for attempt := 0; attempt < 6; attempt++ {
+		if got := b.Delay(attempt, 3*time.Second); got != 3*time.Second {
+			t.Errorf("Delay(%d, 3s) = %v, want exactly 3s", attempt, got)
+		}
+	}
+	// An absurd hint is clamped to Cap, not trusted blindly.
+	if got := b.Delay(0, time.Hour); got != 5*time.Second {
+		t.Errorf("Delay(0, 1h) = %v, want Cap", got)
+	}
+	// Sub-second hints are honored as-is (the parse layer already
+	// floors rendered headers at 1s; a direct sub-second hint is fine).
+	if got := b.Delay(0, 250*time.Millisecond); got != 250*time.Millisecond {
+		t.Errorf("Delay(0, 250ms) = %v, want 250ms", got)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(BackoffConfig{})
+	cfg := b.Config()
+	if cfg.Base != 100*time.Millisecond || cfg.Cap != 15*time.Second || cfg.Jitter != 0.2 || cfg.Rand == nil {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	// Base above Cap is pulled down so the ladder is monotone.
+	if got := NewBackoff(BackoffConfig{Base: time.Minute, Cap: time.Second, Jitter: -1}).Delay(0, 0); got != time.Second {
+		t.Errorf("Base>Cap Delay(0) = %v, want 1s", got)
+	}
+}
+
+func TestNewBreakersIndependent(t *testing.T) {
+	bs := NewBreakers(3, BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour})
+	if len(bs) != 3 {
+		t.Fatalf("len = %d", len(bs))
+	}
+	bs[1].OnFailure()
+	bs[1].OnFailure()
+	if bs[1].State() != BreakerOpen {
+		t.Fatal("breaker 1 should be open")
+	}
+	for _, i := range []int{0, 2} {
+		if bs[i].State() != BreakerClosed {
+			t.Fatalf("breaker %d tripped by its neighbour", i)
+		}
+		if !bs[i].Allow() {
+			t.Fatalf("breaker %d refusing while closed", i)
+		}
+	}
+}

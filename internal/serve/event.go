@@ -9,12 +9,14 @@ import (
 	"spstream/internal/sptensor"
 )
 
-// parseEvent parses one feed line "i j k [value]" with 1-based
+// ParseEvent parses one feed line "i j k [value]" with 1-based
 // coordinates (the cmd/watch convention; the value defaults to 1).
 // Anything malformed — wrong field count, out-of-range or overflowing
 // coordinates, non-finite values — is an error, never a panic: this is
-// the daemon's trust boundary for arbitrary client input.
-func parseEvent(line string, dims []int) (sptensor.Event, error) {
+// the daemon's trust boundary for arbitrary client input. Exported so
+// the cluster gateway (internal/cluster) routes events through the
+// identical trust boundary the shards enforce.
+func ParseEvent(line string, dims []int) (sptensor.Event, error) {
 	fields := strings.Fields(line)
 	if len(fields) != len(dims) && len(fields) != len(dims)+1 {
 		return sptensor.Event{}, fmt.Errorf("want %d coordinates (+ optional value), got %d fields", len(dims), len(fields))

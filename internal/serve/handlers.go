@@ -13,6 +13,7 @@ import (
 
 	"spstream/internal/ingest"
 	"spstream/internal/resilience"
+	"spstream/internal/serve/httpx"
 )
 
 // routes wires the API surface onto the mux.
@@ -55,12 +56,17 @@ func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// ingestResponse summarizes one ingest POST.
+// ingestResponse summarizes one ingest POST. FirstRejectedLine is the
+// 1-based body line number of the first rejected event (0 when nothing
+// was rejected) so a producer posting a multi-line body can find the
+// offending record instead of guessing.
 type ingestResponse struct {
-	Accepted int `json:"accepted"`
-	Rejected int `json:"rejected"`
-	Windows  int `json:"windows_emitted"`
-	Shed     int `json:"windows_shed"`
+	Accepted           int    `json:"accepted"`
+	Rejected           int    `json:"rejected"`
+	Windows            int    `json:"windows_emitted"`
+	Shed               int    `json:"windows_shed"`
+	FirstRejectedLine  int    `json:"first_rejected_line,omitempty"`
+	FirstRejectedError string `json:"first_rejected_error,omitempty"`
 }
 
 // handleIngest accepts a text body of event lines ("i j k [value]",
@@ -75,7 +81,7 @@ type ingestResponse struct {
 // keeps going past garbage — but a body with zero valid events is 400.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", httpx.RetryAfterSeconds(time.Second))
 		jsonError(w, http.StatusServiceUnavailable, "daemon is draining")
 		return
 	}
@@ -84,18 +90,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 	var resp ingestResponse
 	var admitErr error
+	lineNo := 0
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 
 	s.accMu.Lock()
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		ev, err := parseEvent(line, s.cfg.Dims)
+		ev, err := ParseEvent(line, s.cfg.Dims)
 		if err != nil {
 			resp.Rejected++
+			if resp.FirstRejectedLine == 0 {
+				resp.FirstRejectedLine = lineNo
+				resp.FirstRejectedError = err.Error()
+			}
 			s.rejected.Add(1)
 			continue
 		}
@@ -130,7 +142,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if resp.Accepted == 0 && resp.Rejected > 0 {
-		jsonError(w, http.StatusBadRequest, "no valid events in body (%d rejected)", resp.Rejected)
+		jsonError(w, http.StatusBadRequest, "no valid events in body (%d rejected; line %d: %s)",
+			resp.Rejected, resp.FirstRejectedLine, resp.FirstRejectedError)
 		return
 	}
 
@@ -138,26 +151,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case admitErr == nil:
 		writeJSON(w, http.StatusOK, resp)
 	case errors.Is(admitErr, ingest.ErrGateClosed):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.RetryAfter()))
+		w.Header().Set("Retry-After", httpx.RetryAfterSeconds(s.breaker.RetryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 	case errors.Is(admitErr, ingest.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", httpx.RetryAfterSeconds(time.Second))
 		writeJSON(w, http.StatusTooManyRequests, resp)
 	case errors.Is(admitErr, ingest.ErrDraining):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", httpx.RetryAfterSeconds(time.Second))
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 	default:
 		jsonError(w, http.StatusInternalServerError, "admit: %v", admitErr)
 	}
-}
-
-// retryAfterSeconds renders a duration as whole seconds, floor 1.
-func retryAfterSeconds(d time.Duration) string {
-	secs := int(math.Ceil(d.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
-	return strconv.Itoa(secs)
 }
 
 // factorsResponse renders a snapshot. Factor matrices are row-major
@@ -259,10 +263,23 @@ type statsResponse struct {
 	Draining       bool             `json:"draining"`
 	QueueDepth     int              `json:"queue_depth"`
 	RejectedEvents int64            `json:"rejected_events"`
+	Shard          *shardStats      `json:"shard,omitempty"`
 	Breaker        breakerStats     `json:"breaker"`
 	Overload       map[string]int64 `json:"overload"`
 	Resilience     resilience.Stats `json:"resilience"`
 	Layout         layoutStats      `json:"layout"`
+}
+
+// shardStats reports this daemon's slot in a row-sharded cluster: it
+// owns mode-0 rows [row_lo, row_hi) (0-based, half-open) of the global
+// tensor. The gateway audits this block against its own router so a
+// topology mismatch (wrong -shard-id, wrong -shard-count) is caught
+// instead of silently splitting a row range across two owners.
+type shardStats struct {
+	ID    int `json:"id"`
+	Count int `json:"count"`
+	RowLo int `json:"row_lo"`
+	RowHi int `json:"row_hi"`
 }
 
 // layoutStats reports the adaptive-layout manager: how much of the
@@ -333,8 +350,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			HotFirst: view.HotFirst,
 		},
 	}
+	if sh := s.cfg.Shard; sh != nil {
+		resp.Shard = &shardStats{ID: sh.ID, Count: sh.Count, RowLo: sh.RowLo, RowHi: sh.RowHi}
+	}
 	if bs.State != resilience.BreakerClosed {
-		resp.Breaker.RetryAfterSeconds = int(math.Ceil(s.breaker.RetryAfter().Seconds()))
+		resp.Breaker.RetryAfterSeconds = httpx.Seconds(s.breaker.RetryAfter())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -354,7 +374,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if st := s.breaker.State(); st == resilience.BreakerOpen {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.RetryAfter()))
+		w.Header().Set("Retry-After", httpx.RetryAfterSeconds(s.breaker.RetryAfter()))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "breaker open"})
 		return
 	}

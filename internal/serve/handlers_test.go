@@ -124,6 +124,72 @@ func TestIngestBadInput400(t *testing.T) {
 	}
 }
 
+// TestIngestReportsFirstRejectedLine: a multi-line body with garbage in
+// the middle reports the 1-based line number (counting every body line,
+// blanks and comments included) and the parse error of the first
+// rejected event, both in the 200 envelope and in the all-garbage 400.
+func TestIngestReportsFirstRejectedLine(t *testing.T) {
+	srv := newTestServer(t, nil)
+	h := srv.Handler()
+
+	body := "# header comment\n1 1 2.0\n\n99 1 1.0\nalso bad\n2 2 1.0\n"
+	rec := doReq(h, "POST", "/v1/ingest", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mixed body = %d, want 200 (%s)", rec.Code, rec.Body)
+	}
+	var resp ingestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || resp.Rejected != 2 {
+		t.Fatalf("mixed response = %+v", resp)
+	}
+	if resp.FirstRejectedLine != 4 {
+		t.Fatalf("first_rejected_line = %d, want 4 (%+v)", resp.FirstRejectedLine, resp)
+	}
+	if resp.FirstRejectedError == "" {
+		t.Fatal("first rejected event lost its parse error")
+	}
+
+	// All-garbage body: the 400 names the line too.
+	rec = doReq(h, "POST", "/v1/ingest", "# only comments up here\nbogus line\n")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("all-garbage body = %d, want 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "line 2") {
+		t.Fatalf("400 body does not locate the bad line: %s", rec.Body)
+	}
+
+	// A clean body reports no rejection position at all.
+	rec = doReq(h, "POST", "/v1/ingest", "1 1 2.0\n")
+	if strings.Contains(rec.Body.String(), "first_rejected_line") {
+		t.Fatalf("clean body leaked a rejected-line field: %s", rec.Body)
+	}
+}
+
+// TestStatsShardBlock: a daemon configured as one shard of a cluster
+// reports its mode-0 row block in /v1/stats; an unsharded daemon omits
+// the field entirely.
+func TestStatsShardBlock(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) {
+		c.Shard = &ShardInfo{ID: 1, Count: 3, RowLo: 2, RowHi: 5}
+	})
+	var sr statsResponse
+	rec := doReq(srv.Handler(), "GET", "/v1/stats", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Shard == nil || sr.Shard.ID != 1 || sr.Shard.Count != 3 || sr.Shard.RowLo != 2 || sr.Shard.RowHi != 5 {
+		t.Fatalf("shard block = %+v", sr.Shard)
+	}
+
+	plain := newTestServer(t, nil)
+	rec = doReq(plain.Handler(), "GET", "/v1/stats", "")
+	if strings.Contains(rec.Body.String(), "\"shard\"") {
+		t.Fatalf("unsharded daemon reports a shard block: %s", rec.Body)
+	}
+}
+
 func TestIngestBodyLimit413(t *testing.T) {
 	srv := newTestServer(t, func(c *Config) { c.BodyLimit = 64 })
 	rec := doReq(srv.Handler(), "POST", "/v1/ingest", eventBody(100))

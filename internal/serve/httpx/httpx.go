@@ -1,0 +1,56 @@
+// Package httpx holds the small HTTP conventions shared between the
+// single-node daemon (internal/serve) and the cluster gateway
+// (internal/cluster): both sides must render and parse the Retry-After
+// header identically, or a shard's backpressure hint would be rounded
+// one way on the wire and another way in the gateway's retry ladder.
+package httpx
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RetryAfterSeconds renders d as a Retry-After header value: whole
+// delta-seconds, rounded up, floor 1 — a sub-second hint must not
+// become "0" and invite a busy-poll.
+func RetryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(Seconds(d))
+}
+
+// Seconds is RetryAfterSeconds before formatting: ceil(d) in whole
+// seconds, floor 1.
+func Seconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// ParseRetryAfter parses a Retry-After header value: the delta-seconds
+// form ("3") or the HTTP-date form (RFC 7231), measured against now.
+// It returns ok=false for an absent or malformed value; a date in the
+// past parses as 0 (retry immediately).
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}

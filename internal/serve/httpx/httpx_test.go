@@ -1,0 +1,94 @@
+package httpx
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRetryAfterSecondsRendering(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},                      // floor 1: never invite a busy-poll
+		{-5 * time.Second, "1"},       // negative clamps up too
+		{time.Millisecond, "1"},       // sub-second ceils to 1
+		{999 * time.Millisecond, "1"}, // still sub-second
+		{time.Second, "1"},
+		{1001 * time.Millisecond, "2"}, // just past a boundary rounds up
+		{1500 * time.Millisecond, "2"},
+		{2 * time.Second, "2"},
+		{59*time.Second + time.Nanosecond, "60"},
+		{5 * time.Minute, "300"},
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestParseRetryAfterDeltaSeconds(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"  ", 0, false},
+		{"nonsense", 0, false},
+		{"-3", 0, false},
+		{"1.5", 0, false}, // delta-seconds is an integer per RFC 7231
+		{"0", 0, true},    // retry immediately
+		{"1", time.Second, true},
+		{" 7 ", 7 * time.Second, true},
+		{"300", 5 * time.Minute, true},
+	}
+	for _, c := range cases {
+		got, ok := ParseRetryAfter(c.in, now)
+		if got != c.want || ok != c.ok {
+			t.Errorf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	future := now.Add(42 * time.Second)
+	if got, ok := ParseRetryAfter(future.Format(http.TimeFormat), now); !ok || got != 42*time.Second {
+		t.Errorf("future HTTP-date = (%v, %v), want (42s, true)", got, ok)
+	}
+	past := now.Add(-time.Hour)
+	if got, ok := ParseRetryAfter(past.Format(http.TimeFormat), now); !ok || got != 0 {
+		t.Errorf("past HTTP-date = (%v, %v), want (0, true)", got, ok)
+	}
+}
+
+// TestRetryAfterRoundTrip proves the shard's rendering and the
+// gateway's parsing agree: for any duration, the wire value parses back
+// to a wait of at least the original (the ceil) and at least one
+// second.
+func TestRetryAfterRoundTrip(t *testing.T) {
+	now := time.Now()
+	for _, d := range []time.Duration{
+		0, time.Nanosecond, 10 * time.Millisecond, 999 * time.Millisecond,
+		time.Second, 1200 * time.Millisecond, 5 * time.Second,
+		59*time.Second + 500*time.Millisecond, 2 * time.Minute,
+	} {
+		back, ok := ParseRetryAfter(RetryAfterSeconds(d), now)
+		if !ok {
+			t.Fatalf("round trip of %v failed to parse", d)
+		}
+		if back < d {
+			t.Errorf("round trip of %v lost time: parsed %v", d, back)
+		}
+		if back < time.Second {
+			t.Errorf("round trip of %v = %v, want ≥ 1s", d, back)
+		}
+		if back > d+time.Second {
+			t.Errorf("round trip of %v overshot: parsed %v", d, back)
+		}
+	}
+}

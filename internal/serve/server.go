@@ -74,11 +74,29 @@ type Config struct {
 	BodyLimit      int64
 	RequestTimeout time.Duration
 
+	// Shard identifies this daemon's slot in a row-sharded
+	// spstream-cluster deployment (nil outside a cluster): the gateway
+	// routes every event whose mode-0 coordinate falls in
+	// [RowLo, RowHi) here. Purely informational to the daemon itself —
+	// it is surfaced in /v1/stats so the gateway and operators can
+	// audit that the topology and the shard's view of it agree.
+	Shard *ShardInfo
+
 	// Version is reported in /v1/stats (build-stamped by cmd/spstreamd).
 	Version string
 
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+}
+
+// ShardInfo is one daemon's slot in a row-sharded cluster: shard ID of
+// Count owns the contiguous mode-0 row block [RowLo, RowHi), 0-based
+// and half-open.
+type ShardInfo struct {
+	ID    int
+	Count int
+	RowLo int
+	RowHi int
 }
 
 // withDefaults fills zero fields.
