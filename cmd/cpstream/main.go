@@ -1,15 +1,18 @@
 // Command cpstream runs a streaming CP decomposition over a sparse
 // tensor, slice by slice, printing per-slice convergence and timing.
 //
-// The input is either a FROSTT .tns file (with -input and -streammode
-// selecting the temporal mode) or a built-in synthetic dataset
-// analogue (-preset with -scale).
+// The input is a FROSTT .tns file (with -input and -streammode
+// selecting the temporal mode), a built-in synthetic dataset analogue
+// (-preset with -scale), or block-partitioned .spblk slices — a single
+// file or a directory of them, processed out of core under -mem-budget
+// (see cmd/spblk for the converter).
 //
 // Examples:
 //
 //	cpstream -preset nips -scale 0.2 -rank 16 -alg spcp
 //	cpstream -input data.tns -streammode 3 -rank 32 -alg optimized -nonneg
 //	cpstream -preset flickr -rank 16 -alg optimized -fit -breakdown
+//	cpstream -input slices/ -mem-budget 67108864 -rank 16 -fit
 package main
 
 import (
@@ -20,8 +23,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +56,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "factor initialization seed")
 		nonneg     = flag.Bool("nonneg", false, "apply a non-negativity constraint (ADMM)")
 		l1         = flag.Float64("l1", 0, "apply an L1 sparsity constraint with this weight (ADMM)")
+		memBudget  = flag.Int64("mem-budget", 0, "resident-memory budget in bytes per slice; block (.spblk) slices whose modeled working set exceeds it are processed out of core (0 = unconstrained)")
 		fit        = flag.Bool("fit", false, "track per-slice fit (extra work)")
 		breakdown  = flag.Bool("breakdown", false, "print the per-phase time breakdown at the end")
 		maxSlices  = flag.Int("slices", 0, "process at most this many slices (0 = all)")
@@ -99,19 +106,15 @@ func main() {
 		defer stopCPUProfile()
 	}
 
-	stream, err := loadStream(*input, *streamMode, *preset, *scale)
-	if err != nil {
-		fatal(err)
-	}
-
 	opt := spstream.Options{
-		Rank:     *rank,
-		Mu:       *mu,
-		Tol:      *tol,
-		MaxIters: *maxIters,
-		Workers:  *workers,
-		Seed:     *seed,
-		TrackFit: *fit,
+		Rank:      *rank,
+		Mu:        *mu,
+		Tol:       *tol,
+		MaxIters:  *maxIters,
+		Workers:   *workers,
+		Seed:      *seed,
+		TrackFit:  *fit,
+		MemBudget: *memBudget,
 	}
 	switch *alg {
 	case "baseline":
@@ -151,6 +154,21 @@ func main() {
 			rcfg.Checkpoint = mgr
 		}
 		opt.Resilience = rcfg
+	}
+
+	// Block-partitioned (.spblk) inputs take the out-of-core path: each
+	// file is one time slice, processed block by block under the memory
+	// budget without ever materializing when it doesn't fit.
+	if paths, err := spblkInputs(*input); err != nil {
+		fatal(err)
+	} else if paths != nil {
+		runBlockInput(ctx, paths, opt, rcfg, *fit, *breakdown, *maxSlices, *factorsOut, *checkpoint, *resume)
+		return
+	}
+
+	stream, err := loadStream(*input, *streamMode, *preset, *scale)
+	if err != nil {
+		fatal(err)
 	}
 
 	dec, err := spstream.New(stream.Dims, opt)
@@ -376,6 +394,154 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("heap profile written to %s\n", *memprofile)
+	}
+}
+
+// spblkInputs resolves -input to a list of block-slice files: a single
+// .spblk file is one slice, a directory holding .spblk files is a
+// stream of slices in name order. Any other input returns (nil, nil)
+// and falls through to the .tns / preset path.
+func spblkInputs(input string) ([]string, error) {
+	if input == "" {
+		return nil, nil
+	}
+	if strings.HasSuffix(input, ".spblk") {
+		return []string{input}, nil
+	}
+	info, err := os.Stat(input)
+	if err != nil || !info.IsDir() {
+		return nil, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(input, "*.spblk"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("directory %s holds no .spblk files", input)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// runBlockInput processes a sequence of .spblk slice files out of core.
+func runBlockInput(ctx context.Context, paths []string, opt spstream.Options, rcfg *spstream.ResilienceConfig,
+	fit, breakdown bool, maxSlices int, factorsOut, checkpoint, resume string) {
+	probe, err := spstream.OpenBlocks(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	dims := append([]int(nil), probe.Dims()...)
+	probe.Close()
+
+	dec, err := spstream.New(dims, opt)
+	if err != nil {
+		fatal(err)
+	}
+	skip := 0
+	if resume != "" {
+		from, err := restoreFrom(resume, dec)
+		if err != nil {
+			fatal(err)
+		}
+		skip = dec.T()
+		fmt.Printf("resumed from %s at slice %d\n", from, skip)
+	}
+	effWorkers := opt.Workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("cpstream: dims=%v T=%d blocked input mem-budget=%d rank=%d workers=%d\n",
+		dims, len(paths), opt.MemBudget, opt.Rank, effWorkers)
+	fmt.Printf("%6s %10s %6s %12s %10s %10s %10s %8s\n",
+		"slice", "nnz", "iters", "delta", "fit", "time", "eval", "conv")
+
+	processed := 0
+	interrupted := false
+	totalStart := time.Now()
+	for i, path := range paths {
+		if i < skip {
+			continue
+		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		if maxSlices > 0 && processed >= maxSlices {
+			break
+		}
+		r, err := spstream.OpenBlocks(path)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		start := time.Now()
+		res, err := dec.ProcessBlockSliceContext(ctx, r)
+		r.Close()
+		switch {
+		case err == nil:
+		case errors.Is(err, spstream.ErrSliceSkipped):
+			fmt.Fprintf(os.Stderr, "cpstream: %v\n", err)
+		case errors.Is(err, context.Canceled):
+			interrupted = true
+		default:
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if interrupted {
+			break
+		}
+		elapsed := time.Since(start)
+		fitStr := "-"
+		if fit {
+			fitStr = fmt.Sprintf("%.4f", res.Fit)
+		}
+		status := fmt.Sprintf("%v", res.Converged)
+		if res.Skipped {
+			status = "skipped"
+		}
+		fmt.Printf("%6d %10d %6d %12.6g %10s %10s %10s %8s\n",
+			res.T, res.NNZ, res.Iters, res.Delta, fitStr,
+			elapsed.Round(time.Microsecond), dec.LastEvalMode(), status)
+		processed++
+		if rcfg != nil && rcfg.Checkpoint != nil && !res.Skipped {
+			if _, err := rcfg.Checkpoint.MaybeWrite(dec.T(), dec); err != nil {
+				fmt.Fprintf(os.Stderr, "cpstream: checkpoint: %v\n", err)
+			}
+		}
+	}
+	fmt.Printf("total: %d slices in %s\n", processed, time.Since(totalStart).Round(time.Millisecond))
+	if interrupted {
+		fmt.Printf("interrupted at slice %d; state is consistent at the last completed slice\n", dec.T())
+	}
+	if rcfg != nil {
+		st := dec.ResilienceStats()
+		fmt.Printf("resilience: retries=%d skips=%d rollbacks=%d ridge-recoveries=%d panics=%d rejects=%d timeouts=%d\n",
+			st.SliceRetries, st.SlicesSkipped, st.Rollbacks, st.RidgeRecoveries, st.PanicsRecovered, st.InputRejects, st.Timeouts)
+	}
+	if breakdown {
+		bd := dec.Breakdown()
+		per := bd.PerIter()
+		fmt.Printf("\nper-iteration phase breakdown (%d inner iterations):\n", bd.Iters)
+		for ph := 0; ph < trace.NumPhases; ph++ {
+			fmt.Printf("  %-12s %v\n", trace.Phase(ph), per[ph].Round(time.Microsecond))
+		}
+	}
+	if factorsOut != "" {
+		if err := spstream.SaveFactors(factorsOut, dec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("factors written to %s\n", factorsOut)
+	}
+	if rcfg != nil && rcfg.Checkpoint != nil && dec.T() > 0 {
+		if path, err := rcfg.Checkpoint.Write(dec.T(), dec); err != nil {
+			fmt.Fprintf(os.Stderr, "cpstream: final checkpoint: %v\n", err)
+		} else {
+			fmt.Printf("checkpoint written to %s\n", path)
+		}
+	}
+	if checkpoint != "" {
+		if err := resilience.AtomicWriteFile(checkpoint, dec.SaveState); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", checkpoint)
 	}
 }
 

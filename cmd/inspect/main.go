@@ -7,14 +7,17 @@
 //
 //	inspect -input data.tns
 //	inspect -preset flickr -slice 15
+//	inspect -input data.spblk   (prints the block-file header and index)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"spstream/internal/sptensor"
+	"spstream/internal/sptensor/ooc"
 	"spstream/internal/synth"
 	"spstream/internal/version"
 )
@@ -32,6 +35,14 @@ func main() {
 	flag.Parse()
 	if *showVer {
 		fmt.Println("inspect", version.String())
+		return
+	}
+
+	if strings.HasSuffix(*input, ".spblk") {
+		if err := inspectSpblk(*input); err != nil {
+			fmt.Fprintln(os.Stderr, "inspect:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -66,6 +77,38 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// inspectSpblk prints the header and block index of a block-partitioned
+// .spblk tensor file: the grid layout and, per block, its grid cell,
+// coordinate extents, nonzero count, and file offset.
+func inspectSpblk(path string) error {
+	r, err := ooc.Open(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	lay := r.Layout()
+	fmt.Printf("%s: SPBLK001 dims=%v nnz=%d blocks=%d\n", path, r.Dims(), r.NNZ(), r.Blocks())
+	fmt.Printf("grid:")
+	for m := range r.Dims() {
+		fmt.Printf(" mode%d=%d×%d", m, lay.GridDim(m), lay.Side(m))
+	}
+	fmt.Printf(" (splits × side)\n\n")
+	fmt.Printf("%6s %-16s %-28s %10s %12s\n", "block", "grid", "extents", "nnz", "offset")
+	for b := 0; b < r.Blocks(); b++ {
+		ext := ""
+		for m := range r.Dims() {
+			lo, hi := r.Extent(b, m)
+			if m > 0 {
+				ext += "×"
+			}
+			ext += fmt.Sprintf("[%d,%d)", lo, hi)
+		}
+		fmt.Printf("%6d %-16s %-28s %10d %12d\n",
+			b, fmt.Sprint(r.BlockGrid(b)), ext, r.BlockNNZ(b), r.BlockOffset(b))
+	}
+	return nil
 }
 
 func bars(n int) string {

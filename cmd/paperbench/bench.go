@@ -50,6 +50,11 @@ type benchRecord struct {
 	// final slice of an end-to-end bench (slice records only).
 	Remapped bool `json:"remapped,omitempty"`
 	HotFirst bool `json:"hot_first,omitempty"`
+	// LiveHeapBytes / PeakHeapBytes are the out-of-core experiment's
+	// memory evidence (ooc records only): post-GC live-heap delta and
+	// sampled heap high-water delta over the pre-run baseline.
+	LiveHeapBytes int64 `json:"live_heap_bytes,omitempty"`
+	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
 }
 
 // benchFile is the JSON document. CSFBestSpeedup is the best

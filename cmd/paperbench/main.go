@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fitlog, crossover, calibrate, bench, benchcmp, threshold")
+		exp        = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fitlog, crossover, calibrate, bench, benchcmp, threshold, ooc")
 		mode       = flag.String("mode", "model", "model (paper-testbed performance model) or measure (wall clock on this host)")
 		scale      = flag.Float64("scale", 0.3, "synthetic dataset scale (1 = benchmark size)")
 		rank       = flag.Int("rank", 16, "decomposition rank for table1")
@@ -121,12 +121,13 @@ func main() {
 		"crossover": h.crossover,
 		"calibrate": h.calibrate,
 		"bench":     h.bench,
+		"ooc":       h.ooc,
 		"benchcmp":  h.benchcmpExp,
 		"threshold": h.threshold,
 	}
-	// bench and threshold are excluded from "all": they are host
+	// bench, ooc and threshold are excluded from "all": they are host
 	// measurements (minutes of wall clock), run explicitly via
-	// `make bench` / `-exp threshold`.
+	// `make bench` / `make bench-ooc` / `-exp threshold`.
 	order := []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fitlog", "crossover", "calibrate"}
 
 	var run []string

@@ -75,6 +75,8 @@ func main() {
 		ckptEvery = flag.Int("every", 10, "checkpoint every N committed slices")
 		ckptKeep  = flag.Int("keep", 3, "checkpoints to retain")
 
+		memBudget = flag.Int64("mem-budget", 0, "resident-memory budget in bytes per slice for block-delivered slices (0 = unconstrained)")
+
 		onError  = flag.String("on-error", "skip", "slice-failure policy: abort, retry, skip")
 		sliceTO  = flag.Duration("slice-timeout", 0, "per-slice solve deadline (0 = none)")
 		brkFails = flag.Int("breaker-failures", 3, "consecutive solver failures that open the circuit breaker")
@@ -149,6 +151,7 @@ func main() {
 			Mu:         *mu,
 			TrackFit:   true,
 			Normalize:  true,
+			MemBudget:  *memBudget,
 			Resilience: rcfg,
 		},
 		WindowEvents:       *window,

@@ -5,34 +5,40 @@
 //
 //	tensorgen -preset flickr -scale 0.5 -o flickr.tns
 //	tensorgen -dims 1000,2000 -slices 50 -nnz 10000 -zipf 1.0 -o custom.tns
+//	tensorgen -dims 2000,1500 -slices 10 -nnz 500000 -format spblk -o custom.spblk
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"spstream/internal/sptensor"
+	"spstream/internal/sptensor/ooc"
 	"spstream/internal/synth"
 	"spstream/internal/version"
 )
 
 func main() {
 	var (
-		preset  = flag.String("preset", "", "built-in preset: patents, flickr, uber, nips")
-		scale   = flag.Float64("scale", 0.2, "preset scale")
-		dims    = flag.String("dims", "", "custom mode lengths, comma separated (non-streaming modes)")
-		slices  = flag.Int("slices", 20, "custom: number of time slices")
-		nnz     = flag.Int("nnz", 10000, "custom: nonzeros per slice")
-		zipf    = flag.Float64("zipf", 0, "custom: Zipf exponent for index skew (0 = uniform)")
-		rank    = flag.Int("rank", 8, "custom: planted low-rank structure rank (0 = count values)")
-		noise   = flag.Float64("noise", 0.05, "custom: noise std dev on planted values")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output .tns file (default stdout)")
-		binary  = flag.Bool("binary", false, "write the compact binary format instead of .tns text")
-		showVer = flag.Bool("version", false, "print version/build information and exit")
+		preset   = flag.String("preset", "", "built-in preset: patents, flickr, uber, nips")
+		scale    = flag.Float64("scale", 0.2, "preset scale")
+		dims     = flag.String("dims", "", "custom mode lengths, comma separated (non-streaming modes)")
+		slices   = flag.Int("slices", 20, "custom: number of time slices")
+		nnz      = flag.Int("nnz", 10000, "custom: nonzeros per slice")
+		zipf     = flag.Float64("zipf", 0, "custom: Zipf exponent for index skew (0 = uniform)")
+		rank     = flag.Int("rank", 8, "custom: planted low-rank structure rank (0 = count values)")
+		noise    = flag.Float64("noise", 0.05, "custom: noise std dev on planted values")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output .tns file (default stdout)")
+		binary   = flag.Bool("binary", false, "write the compact binary format instead of .tns text (same as -format binary)")
+		format   = flag.String("format", "", "output format: tns (default), binary, or spblk (block-partitioned out-of-core format; requires -o)")
+		blockNNZ = flag.Int("block-nnz", 0, "spblk: target nonzeros per block (0 = default)")
+		split    = flag.Bool("split", false, "spblk: write one file per time slice into the -o directory (cpstream's out-of-core stream input)")
+		showVer  = flag.Bool("version", false, "print version/build information and exit")
 	)
 	flag.Parse()
 	if *showVer {
@@ -51,6 +57,41 @@ func main() {
 	tensor := sptensor.Merge(stream)
 	fmt.Fprintf(os.Stderr, "tensorgen: dims=%v (streaming mode last) nnz=%d\n", tensor.Dims, tensor.NNZ())
 
+	f := *format
+	if f == "" {
+		if *binary {
+			f = "binary"
+		} else {
+			f = "tns"
+		}
+	}
+	if f == "spblk" {
+		// The block format is written directly (atomic temp + rename),
+		// not through a stream, so it needs a path.
+		if *out == "" {
+			fatal(fmt.Errorf("-format spblk requires -o"))
+		}
+		if *split {
+			// One .spblk file per time slice, ready for cpstream's
+			// out-of-core directory input.
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+			for i, x := range stream.Slices {
+				path := filepath.Join(*out, fmt.Sprintf("slice-%04d.spblk", i))
+				if err := ooc.WriteTensor(path, x, *blockNNZ); err != nil {
+					fatal(err)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "tensorgen: wrote %d slice files under %s\n", len(stream.Slices), *out)
+			return
+		}
+		if err := ooc.WriteTensor(*out, tensor, *blockNNZ); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -60,10 +101,13 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if *binary {
+	switch f {
+	case "binary":
 		err = sptensor.WriteBinary(w, tensor)
-	} else {
+	case "tns":
 		err = sptensor.WriteTNS(w, tensor)
+	default:
+		err = fmt.Errorf("unknown format %q (want tns, binary, spblk)", f)
 	}
 	if err != nil {
 		fatal(err)

@@ -58,6 +58,12 @@ type Decomposer struct {
 	prof    perfmodel.SliceProfile
 	kernels []kernelChoice
 
+	// Out-of-core evaluation (see streamed.go): the pooled streaming
+	// MTTKRP kernel (created on first blocked slice) and the evaluation
+	// mode the selector picked for the most recent block slice.
+	sk       *mttkrp.StreamKernel
+	lastEval perfmodel.EvalMode
+
 	// Adaptive memory layout (see kernels.go and perfmodel/layout.go):
 	// the stream-lifetime layout manager (lazily created when the
 	// policy allows it), the pooled profiler that folds each slice's

@@ -192,6 +192,15 @@ type Options struct {
 	// trees reuse partial Khatri-Rao products along shared index
 	// prefixes (see csf.Engine).
 	CSFMTTKRP bool
+	// MemBudget caps the estimated resident bytes a slice may occupy
+	// during processing (see perfmodel.ResidentBytes). When a slice
+	// arriving through ProcessBlockSlice would exceed it, the slice is
+	// evaluated out of core: every kernel streams over the source blocks
+	// and only one block plus the factor matrices stay resident.
+	// Non-positive (the default) means unconstrained — block sources are
+	// materialized and take the regular in-memory path. Slices arriving
+	// through ProcessSlice are already resident and ignore the budget.
+	MemBudget int64
 	// Resilience, when non-nil, enables guarded slice processing: input
 	// scanning, the ridge-escalation recovery ladder for solver
 	// failures, post-slice health checks, last-good snapshot rollback,

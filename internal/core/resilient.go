@@ -262,14 +262,24 @@ func (d *Decomposer) processSliceCtx(ctx context.Context, x *sptensor.Tensor) (S
 	if err := d.checkSlice(x); err != nil {
 		return SliceResult{}, err
 	}
+	return d.guardedRun(ctx, x.NNZ(),
+		func() error { return scanSliceInput(x) },
+		func(runCtx context.Context) (SliceResult, error) { return d.runSlice(runCtx, x) })
+}
+
+// guardedRun wraps one slice-shaped unit of work (in-memory or blocked)
+// in the resilience policy: input scan, snapshot, the retry loop with
+// per-attempt timeout, health check, and rollback + policy on failure.
+// With a nil resilience config it is exactly run(ctx).
+func (d *Decomposer) guardedRun(ctx context.Context, nnz int, scan func() error, run func(context.Context) (SliceResult, error)) (SliceResult, error) {
 	cfg := d.opt.Resilience
 	if cfg == nil {
-		return d.runSlice(ctx, x)
+		return run(ctx)
 	}
 	if !cfg.DisableInputScan {
-		if err := scanSliceInput(x); err != nil {
+		if err := scan(); err != nil {
 			d.stats.InputRejects++
-			res := SliceResult{T: d.t, NNZ: x.NNZ()}
+			res := SliceResult{T: d.t, NNZ: nnz}
 			if cfg.Policy == resilience.SkipSlice {
 				d.stats.SlicesSkipped++
 				res.Skipped = true
@@ -287,7 +297,7 @@ func (d *Decomposer) processSliceCtx(ctx context.Context, x *sptensor.Tensor) (S
 		if cfg.SliceTimeout > 0 {
 			runCtx, cancel = context.WithTimeout(ctx, cfg.SliceTimeout)
 		}
-		res, err = d.runSlice(runCtx, x)
+		res, err = run(runCtx)
 		if err == nil {
 			if herr := d.healthCheck(&res); herr != nil {
 				d.stats.HealthFailures++

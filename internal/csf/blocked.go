@@ -1,0 +1,160 @@
+package csf
+
+import (
+	"fmt"
+	"sort"
+
+	"spstream/internal/sptensor"
+)
+
+// The blocked build constructs the same CSF trees as the in-memory
+// build without ever holding the whole slice: blocks are grouped into
+// "slabs" — connected components of overlapping root-mode extents, in
+// ascending root order — and each slab is gathered, radix-sorted, and
+// appended to the tree incrementally.
+//
+// Why this is exact: the in-memory build sorts all nonzeros stably and
+// lexicographically by the tree's level order (root first). Slab root
+// intervals are disjoint and ascending, so no sort key crosses a slab
+// boundary; within a slab the gather visits blocks in source order, so
+// a stable per-slab sort preserves exactly the relative order the
+// global stable sort would. Concatenating the per-slab sorts therefore
+// IS the global stable sort, and appendLevels consumes it in pieces
+// with carried state. Working memory is O(largest slab + tree), not
+// O(nnz): for a grid-partitioned .spblk file a slab is one root-mode
+// grid band.
+
+// blockExtents is the optional fast path for sources that know their
+// per-block bounding extents without decoding (ooc.BlockReader derives
+// them from the grid layout). Sources without it are scanned once.
+type blockExtents interface {
+	Extent(b, m int) (lo, hi int32)
+}
+
+// BeginBlocks points the engine at a blocked slice and invalidates
+// every tree. Trees are rebuilt lazily on the first MTTKRP per mode (or
+// eagerly via Build), reading the source one block at a time; only the
+// built trees stay resident. The source must remain valid — and its
+// underlying data unchanged — while the engine is in use.
+func (e *Engine) BeginBlocks(src sptensor.BlockSource) {
+	e.x = nil
+	e.src = src
+	e.begin(src.Dims())
+}
+
+// buildTreeBlocked is buildTree for a block source. Blocked slices are
+// not globally sorted in any mode order, so only the general radix path
+// applies — there is no sorted-base fast path to miss.
+func (e *Engine) buildTreeBlocked(t *tree, mode int) {
+	t.order = ModeOrder(t.order, e.dims, mode)
+	t.sortPasses = int8(len(e.dims))
+	slabs, err := e.rootSlabs(mode)
+	if err != nil {
+		panic(fmt.Sprintf("csf: blocked build: %v", err))
+	}
+	e.resetLevels(t)
+	base := 0
+	for _, slab := range slabs {
+		if err := e.gatherSlab(slab); err != nil {
+			panic(fmt.Sprintf("csf: blocked build: %v", err))
+		}
+		perm := e.sortPerm(&e.gx, t.order)
+		base = e.appendLevels(t, &e.gx, perm, base)
+	}
+	if base != e.src.NNZ() {
+		panic(fmt.Sprintf("csf: blocked build gathered %d nonzeros, source declared %d", base, e.src.NNZ()))
+	}
+	e.finalizeLevels(t, base)
+	t.buildTiles(e.workers)
+	t.built = true
+}
+
+// slabSpan is one block's root-mode interval during slab grouping.
+type slabSpan struct {
+	lo, hi int32
+	b      int
+}
+
+// rootSlabs groups the source's blocks by overlapping root-mode extent
+// and returns the groups in ascending root order, each group's blocks
+// in ascending source order.
+func (e *Engine) rootSlabs(root int) ([][]int, error) {
+	nb := e.src.Blocks()
+	spans := make([]slabSpan, 0, nb)
+	ext, hasExt := e.src.(blockExtents)
+	for b := 0; b < nb; b++ {
+		var lo, hi int32
+		if hasExt {
+			lo, hi = ext.Extent(b, root)
+		} else {
+			// One decode pass to learn the block's root bounding range.
+			blk, err := e.src.Block(b)
+			if err != nil {
+				return nil, err
+			}
+			if blk.NNZ() == 0 {
+				continue
+			}
+			col := blk.Inds[root]
+			lo, hi = col[0], col[0]
+			for _, c := range col {
+				if c < lo {
+					lo = c
+				}
+				if c > hi {
+					hi = c
+				}
+			}
+			hi++
+		}
+		spans = append(spans, slabSpan{lo: lo, hi: hi, b: b})
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].lo != spans[j].lo {
+			return spans[i].lo < spans[j].lo
+		}
+		return spans[i].b < spans[j].b
+	})
+	var slabs [][]int
+	curHi := int32(-1)
+	for _, s := range spans {
+		if len(slabs) == 0 || s.lo >= curHi {
+			slabs = append(slabs, nil)
+			curHi = s.hi
+		} else if s.hi > curHi {
+			curHi = s.hi
+		}
+		slabs[len(slabs)-1] = append(slabs[len(slabs)-1], s.b)
+	}
+	// Restore source order inside each slab — the gather order must be
+	// the concatenation order for the stable-sort argument to hold.
+	for _, slab := range slabs {
+		sort.Ints(slab)
+	}
+	return slabs, nil
+}
+
+// gatherSlab concatenates the given blocks (in slice order) into the
+// engine's reusable gather tensor e.gx.
+func (e *Engine) gatherSlab(blocks []int) error {
+	n := len(e.dims)
+	if len(e.gx.Inds) != n {
+		e.gx.Inds = make([][]int32, n)
+	}
+	e.gx.Dims = e.dims
+	for m := range e.gx.Inds {
+		e.gx.Inds[m] = e.gx.Inds[m][:0]
+	}
+	e.gx.Vals = e.gx.Vals[:0]
+	for _, b := range blocks {
+		blk, err := e.src.Block(b)
+		if err != nil {
+			return err
+		}
+		for m := 0; m < n; m++ {
+			e.gx.Inds[m] = append(e.gx.Inds[m], blk.Inds[m]...)
+		}
+		e.gx.Vals = append(e.gx.Vals, blk.Vals...)
+	}
+	return nil
+}

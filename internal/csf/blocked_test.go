@@ -1,0 +1,189 @@
+package csf
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"spstream/internal/dense"
+	"spstream/internal/parallel"
+	"spstream/internal/sptensor"
+	"spstream/internal/sptensor/ooc"
+)
+
+func blockedTensor(tb testing.TB, dims []int, nnz int, seed int64, skew bool) *sptensor.Tensor {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := sptensor.New(dims...)
+	coord := make([]int32, len(dims))
+	for e := 0; e < nnz; e++ {
+		for m, d := range dims {
+			if skew && rng.Intn(3) == 0 {
+				coord[m] = int32(rng.Intn(1 + d/8))
+			} else {
+				coord[m] = int32(rng.Intn(d))
+			}
+		}
+		x.Append(coord, rng.NormFloat64())
+	}
+	return x
+}
+
+func blockedFactors(rng *rand.Rand, dims []int, k int) []*dense.Matrix {
+	fs := make([]*dense.Matrix, len(dims))
+	for m, d := range dims {
+		fs[m] = dense.NewMatrix(d, k)
+		for i := range fs[m].Data {
+			fs[m].Data[i] = rng.NormFloat64()
+		}
+	}
+	return fs
+}
+
+// sameTree compares two built trees structurally and bit-wise.
+func sameTree(t *testing.T, a, b *tree) {
+	t.Helper()
+	if len(a.order) != len(b.order) {
+		t.Fatalf("order lengths differ")
+	}
+	for i := range a.order {
+		if a.order[i] != b.order[i] {
+			t.Fatalf("order differs: %v vs %v", a.order, b.order)
+		}
+	}
+	for l := range a.levels {
+		la, lb := &a.levels[l], &b.levels[l]
+		if len(la.IDs) != len(lb.IDs) || len(la.Ptr) != len(lb.Ptr) {
+			t.Fatalf("level %d sizes differ: %d/%d vs %d/%d",
+				l, len(la.IDs), len(la.Ptr), len(lb.IDs), len(lb.Ptr))
+		}
+		for i := range la.IDs {
+			if la.IDs[i] != lb.IDs[i] {
+				t.Fatalf("level %d IDs[%d] = %d vs %d", l, i, la.IDs[i], lb.IDs[i])
+			}
+		}
+		for i := range la.Ptr {
+			if la.Ptr[i] != lb.Ptr[i] {
+				t.Fatalf("level %d Ptr[%d] = %d vs %d", l, i, la.Ptr[i], lb.Ptr[i])
+			}
+		}
+	}
+	if len(a.vals) != len(b.vals) {
+		t.Fatalf("vals lengths differ: %d vs %d", len(a.vals), len(b.vals))
+	}
+	for i := range a.vals {
+		if math.Float64bits(a.vals[i]) != math.Float64bits(b.vals[i]) {
+			t.Fatalf("vals[%d] differ", i)
+		}
+	}
+}
+
+// TestBlockedBuildMatchesInMemory is the blocked-build property test:
+// for random, skewed, and degenerate tensors, the tree built from a
+// block source — both a grid-partitioned .spblk reader (extent fast
+// path) and consecutive-run MemBlocks (scan fallback) — must be
+// structurally identical to the in-memory build on the materialized
+// concatenation, and MTTKRP over it bit-identical, for worker counts
+// below, at, and above the pool size.
+func TestBlockedBuildMatchesInMemory(t *testing.T) {
+	pool := parallel.NewPool(4)
+	cases := []struct {
+		name string
+		x    *sptensor.Tensor
+	}{
+		{"random", blockedTensor(t, []int{60, 50, 40}, 6000, 1, false)},
+		{"skewed", blockedTensor(t, []int{300, 20, 150}, 9000, 2, true)},
+		{"degenerate", blockedTensor(t, []int{2, 1, 3}, 120, 3, false)},
+		{"mode4", blockedTensor(t, []int{15, 11, 9, 13}, 2500, 4, false)},
+	}
+	const k = 10
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "x.spblk")
+			if err := ooc.WriteTensor(path, tc.x, 800); err != nil {
+				t.Fatal(err)
+			}
+			r, err := ooc.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			fileTwin, err := sptensor.MaterializeBlocks(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memSrc, err := sptensor.SplitBlocks(tc.x, 700)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(31))
+			factors := blockedFactors(rng, tc.x.Dims, k)
+			for _, workers := range []int{1, 4, 7} {
+				ref := NewEngineWithPool(workers, pool)
+				fromFile := NewEngineWithPool(workers, pool)
+				fromMem := NewEngineWithPool(workers, pool)
+				ref.Begin(fileTwin)
+				fromFile.BeginBlocks(r)
+				refMem := NewEngineWithPool(workers, pool)
+				refMem.Begin(tc.x)
+				fromMem.BeginBlocks(memSrc)
+				for mode := range tc.x.Dims {
+					ref.Build(mode)
+					fromFile.Build(mode)
+					sameTree(t, ref.trees[mode], fromFile.trees[mode])
+					refMem.Build(mode)
+					fromMem.Build(mode)
+					sameTree(t, refMem.trees[mode], fromMem.trees[mode])
+
+					want := dense.NewMatrix(tc.x.Dims[mode], k)
+					got := dense.NewMatrix(tc.x.Dims[mode], k)
+					ref.MTTKRP(want, factors, mode)
+					fromFile.MTTKRP(got, factors, mode)
+					for i, v := range want.Data {
+						if math.Float64bits(got.Data[i]) != math.Float64bits(v) {
+							t.Fatalf("workers=%d mode=%d: file-blocked MTTKRP element %d differs", workers, mode, i)
+						}
+					}
+					refMem.MTTKRP(want, factors, mode)
+					fromMem.MTTKRP(got, factors, mode)
+					for i, v := range want.Data {
+						if math.Float64bits(got.Data[i]) != math.Float64bits(v) {
+							t.Fatalf("workers=%d mode=%d: mem-blocked MTTKRP element %d differs", workers, mode, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBlockedBuildDuplicates checks that duplicate coordinates crossing
+// a block boundary still coalesce into one leaf, exactly as in memory.
+func TestBlockedBuildDuplicates(t *testing.T) {
+	x := sptensor.New(4, 4, 4)
+	coord := []int32{2, 1, 3}
+	for e := 0; e < 10; e++ {
+		x.Append(coord, float64(e+1))
+	}
+	coord2 := []int32{0, 0, 0}
+	x.Append(coord2, 5)
+	src, err := sptensor.SplitBlocks(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(2)
+	ref := NewEngineWithPool(2, pool)
+	ref.Begin(x)
+	blk := NewEngineWithPool(2, pool)
+	blk.BeginBlocks(src)
+	for mode := range x.Dims {
+		ref.Build(mode)
+		blk.Build(mode)
+		sameTree(t, ref.trees[mode], blk.trees[mode])
+	}
+	if got := len(blk.trees[0].levels[2].IDs); got != 2 {
+		t.Fatalf("expected 2 coalesced leaves, tree has %d", got)
+	}
+}

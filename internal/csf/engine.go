@@ -115,7 +115,14 @@ type Engine struct {
 	workers int
 	pool    *parallel.Pool
 
+	// Exactly one of x (in-memory slice, via Begin) and src (blocked
+	// slice, via BeginBlocks) is non-nil while the engine is active.
+	// dims mirrors the active slice's mode lengths either way, so the
+	// kernels and shape checks never need the tensor itself — in blocked
+	// mode only the built trees are resident, never the nonzeros.
 	x     *sptensor.Tensor
+	src   sptensor.BlockSource
+	dims  []int
 	trees []*tree
 
 	// Sorted-base fast path: baseHint is the caller's claim that the
@@ -132,6 +139,9 @@ type Engine struct {
 	perm, perm2 []int32
 	count       []int32
 	prev        []int32
+
+	// gx is the blocked build's reusable slab gather buffer.
+	gx sptensor.Tensor
 
 	// Kernel scratch: per worker, lcap partial-product rows of kcap
 	// floats (one per internal tree level).
@@ -184,10 +194,17 @@ func (e *Engine) Workers() int { return e.workers }
 // rebuilt lazily on the first MTTKRP per mode (or eagerly via Build).
 func (e *Engine) Begin(x *sptensor.Tensor) {
 	e.x = x
+	e.src = nil
+	e.begin(x.Dims)
+}
+
+// begin resets the per-slice state shared by Begin and BeginBlocks.
+func (e *Engine) begin(dims []int) {
+	e.dims = dims
 	e.baseHint = false
 	e.baseState = 0
-	if len(e.trees) != x.NModes() {
-		e.trees = make([]*tree, x.NModes())
+	if len(e.trees) != len(dims) {
+		e.trees = make([]*tree, len(dims))
 	}
 	for _, t := range e.trees {
 		if t != nil {
@@ -210,7 +227,7 @@ func (e *Engine) SetSortedBase() {
 
 // baseUsable verifies the sorted-base hint on first use.
 func (e *Engine) baseUsable() bool {
-	if !e.baseHint {
+	if !e.baseHint || e.x == nil {
 		return false
 	}
 	if e.baseState == 0 {
@@ -258,11 +275,11 @@ func (e *Engine) Build(mode int) {
 
 // Built reports whether mode's tree is current for the active slice.
 func (e *Engine) Built(mode int) bool {
-	return e.x != nil && mode < len(e.trees) && e.trees[mode] != nil && e.trees[mode].built
+	return (e.x != nil || e.src != nil) && mode < len(e.trees) && e.trees[mode] != nil && e.trees[mode].built
 }
 
 func (e *Engine) tree(mode int) *tree {
-	if e.x == nil {
+	if e.x == nil && e.src == nil {
 		panic("csf: Engine used before Begin")
 	}
 	if mode < 0 || mode >= len(e.trees) {
@@ -270,8 +287,7 @@ func (e *Engine) tree(mode int) *tree {
 	}
 	t := e.trees[mode]
 	if t == nil {
-		n := e.x.NModes()
-		t = &tree{levels: make([]Level, n)}
+		t = &tree{levels: make([]Level, len(e.dims))}
 		e.trees[mode] = t
 	}
 	if !t.built {
@@ -285,11 +301,15 @@ func (e *Engine) tree(mode int) *tree {
 // level first) followed by a single pass that opens a node at level l
 // whenever any coordinate at levels ≤ l changes, then the tile schedule.
 func (e *Engine) buildTree(t *tree, mode int) {
-	x := e.x
-	n := x.NModes()
+	n := len(e.dims)
 	if n < 2 {
 		panic("csf: need ≥ 2 modes")
 	}
+	if e.src != nil {
+		e.buildTreeBlocked(t, mode)
+		return
+	}
+	x := e.x
 	if e.baseUsable() {
 		t.order = ModeOrderBase(t.order, n, mode)
 		perm := e.sortPermSorted(x, mode, t)
@@ -310,10 +330,14 @@ func (e *Engine) buildTree(t *tree, mode int) {
 // at levels ≤ l changes; duplicate coordinates (div == n) coalesce into
 // the previous leaf's value range.
 func (e *Engine) buildLevels(t *tree, perm []int32) {
-	x := e.x
-	n := x.NModes()
-	nnz := len(perm)
+	e.resetLevels(t)
+	total := e.appendLevels(t, e.x, perm, 0)
+	e.finalizeLevels(t, total)
+}
 
+// resetLevels clears the tree's level arrays before an incremental
+// build (one appendLevels call per sorted batch).
+func (e *Engine) resetLevels(t *tree) {
 	for l := range t.levels {
 		t.levels[l].IDs = t.levels[l].IDs[:0]
 		t.levels[l].Ptr = t.levels[l].Ptr[:0]
@@ -321,19 +345,29 @@ func (e *Engine) buildLevels(t *tree, perm []int32) {
 	t.vals = t.vals[:0]
 	t.rootVal = t.rootVal[:0]
 	t.childVal = t.childVal[:0]
+}
+
+// appendLevels appends the sorted batch perm of x to the tree under
+// construction and returns the new global nonzero count. base is the
+// count before this batch; e.prev carries the previous nonzero's
+// coordinates across batches, so feeding the global sorted order in
+// pieces produces exactly the tree a single-batch build would — the
+// seam the blocked build relies on.
+func (e *Engine) appendLevels(t *tree, x *sptensor.Tensor, perm []int32, base int) int {
+	n := len(e.dims)
 	if cap(e.prev) < n {
 		e.prev = make([]int32, n)
 	}
 	prev := e.prev[:n]
 
-	for i := 0; i < nnz; i++ {
-		p := perm[i]
+	for i, p := range perm {
+		g := base + i
 		t.vals = append(t.vals, x.Vals[p])
 		// div = first level whose coordinate differs from the previous
 		// nonzero; duplicates (div == n) extend the last leaf's value
 		// range, coalescing for free.
 		div := 0
-		if i > 0 {
+		if g > 0 {
 			div = n
 			for l := 0; l < n; l++ {
 				if x.Inds[t.order[l]][p] != prev[l] {
@@ -348,20 +382,26 @@ func (e *Engine) buildLevels(t *tree, perm []int32) {
 			lev := &t.levels[l]
 			lev.IDs = append(lev.IDs, idx)
 			if l == n-1 {
-				lev.Ptr = append(lev.Ptr, int32(i))
+				lev.Ptr = append(lev.Ptr, int32(g))
 			} else {
 				// Child start = the next level's node count before this
 				// round appends to it (levels are opened top-down).
 				lev.Ptr = append(lev.Ptr, int32(len(t.levels[l+1].IDs)))
 			}
 			if l == 0 {
-				t.rootVal = append(t.rootVal, int32(i))
+				t.rootVal = append(t.rootVal, int32(g))
 			}
 			if l == 1 {
-				t.childVal = append(t.childVal, int32(i))
+				t.childVal = append(t.childVal, int32(g))
 			}
 		}
 	}
+	return base + len(perm)
+}
+
+// finalizeLevels appends the sentinel entries once every batch is in.
+func (e *Engine) finalizeLevels(t *tree, nnz int) {
+	n := len(e.dims)
 	for l := 0; l < n-1; l++ {
 		t.levels[l].Ptr = append(t.levels[l].Ptr, int32(len(t.levels[l+1].IDs)))
 	}
@@ -664,20 +704,19 @@ func (e *Engine) ensureShards(n int) {
 }
 
 func (e *Engine) checkShapes(out *dense.Matrix, factors []*dense.Matrix, mode int) int {
-	x := e.x
-	if len(factors) != x.NModes() {
-		panic(fmt.Sprintf("csf: %d factors for %d modes", len(factors), x.NModes()))
+	if len(factors) != len(e.dims) {
+		panic(fmt.Sprintf("csf: %d factors for %d modes", len(factors), len(e.dims)))
 	}
 	k := factors[0].Cols
 	for m, f := range factors {
 		if f.Cols != k {
 			panic("csf: factor rank mismatch")
 		}
-		if f.Rows != x.Dims[m] {
-			panic(fmt.Sprintf("csf: factor %d has %d rows for dim %d", m, f.Rows, x.Dims[m]))
+		if f.Rows != e.dims[m] {
+			panic(fmt.Sprintf("csf: factor %d has %d rows for dim %d", m, f.Rows, e.dims[m]))
 		}
 	}
-	if out.Rows != x.Dims[mode] || out.Cols != k {
+	if out.Rows != e.dims[mode] || out.Cols != k {
 		panic("csf: output shape mismatch")
 	}
 	return k

@@ -1,0 +1,200 @@
+package mttkrp
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"spstream/internal/dense"
+	"spstream/internal/parallel"
+	"spstream/internal/sptensor"
+	"spstream/internal/sptensor/ooc"
+)
+
+// streamTensor builds a deterministic test tensor with optional skew
+// (duplicate-heavy hot rows) and tiny-dim degeneracy.
+func streamTensor(tb testing.TB, dims []int, nnz int, seed int64, skew bool) *sptensor.Tensor {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := sptensor.New(dims...)
+	coord := make([]int32, len(dims))
+	for e := 0; e < nnz; e++ {
+		for m, d := range dims {
+			if skew && rng.Intn(3) == 0 {
+				coord[m] = int32(rng.Intn(1 + d/8))
+			} else {
+				coord[m] = int32(rng.Intn(d))
+			}
+		}
+		x.Append(coord, rng.NormFloat64())
+	}
+	return x
+}
+
+func randFactors(rng *rand.Rand, dims []int, k int) []*dense.Matrix {
+	fs := make([]*dense.Matrix, len(dims))
+	for m, d := range dims {
+		fs[m] = dense.NewMatrix(d, k)
+		for i := range fs[m].Data {
+			fs[m].Data[i] = rng.NormFloat64()
+		}
+	}
+	return fs
+}
+
+// TestStreamMatchesPlan checks that the streamed kernels are
+// bit-identical to the in-memory plan kernels on the materialized
+// concatenation of the blocks, for worker counts below, at, and above
+// the pool size, on random, skewed, and degenerate tensors.
+func TestStreamMatchesPlan(t *testing.T) {
+	pool := parallel.NewPool(4)
+	cases := []struct {
+		name string
+		x    *sptensor.Tensor
+	}{
+		{"random", streamTensor(t, []int{50, 40, 60}, 5000, 1, false)},
+		{"skewed", streamTensor(t, []int{200, 30, 100}, 8000, 2, true)},
+		{"degenerate", streamTensor(t, []int{1, 3, 2}, 64, 3, false)},
+		{"mode4", streamTensor(t, []int{12, 9, 14, 8}, 2000, 4, false)},
+		{"empty", sptensor.New(5, 5, 5)},
+	}
+	const k = 9
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := sptensor.SplitBlocks(tc.x, 700)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mat, err := sptensor.MaterializeBlocks(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			factors := randFactors(rng, tc.x.Dims, k)
+			for _, workers := range []int{1, 4, 7} {
+				c := NewComputerWithPool(workers, pool)
+				sk := NewStreamKernel(c)
+				plan := c.NewPlan(mat)
+				for mode := range tc.x.Dims {
+					want := dense.NewMatrix(tc.x.Dims[mode], k)
+					got := dense.NewMatrix(tc.x.Dims[mode], k)
+					c.PlanMTTKRP(want, plan, factors, mode)
+					if err := sk.MTTKRP(got, src, factors, mode); err != nil {
+						t.Fatal(err)
+					}
+					for i, v := range want.Data {
+						if math.Float64bits(got.Data[i]) != math.Float64bits(v) {
+							t.Fatalf("workers=%d mode=%d: element %d = %v, want %v (not bit-identical)",
+								workers, mode, i, got.Data[i], v)
+						}
+					}
+				}
+				want := make([]float64, k)
+				got := make([]float64, k)
+				c.TimeMode(want, mat, factors)
+				if err := sk.TimeMode(got, src, factors); err != nil {
+					t.Fatal(err)
+				}
+				for j := range want {
+					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("workers=%d TimeMode[%d] = %v, want %v (not bit-identical)",
+							workers, j, got[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamMatchesPlanOnBlockFile runs the same bit-identity check
+// through a real .spblk file — mmap reader, CRC verification and all —
+// so the full out-of-core read path is covered, not just MemBlocks.
+func TestStreamMatchesPlanOnBlockFile(t *testing.T) {
+	x := streamTensor(t, []int{80, 50, 70}, 6000, 7, true)
+	path := filepath.Join(t.TempDir(), "x.spblk")
+	if err := ooc.WriteTensor(path, x, 512); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ooc.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	mat, err := sptensor.MaterializeBlocks(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 12
+	rng := rand.New(rand.NewSource(5))
+	factors := randFactors(rng, x.Dims, k)
+	pool := parallel.NewPool(4)
+	for _, workers := range []int{1, 4, 7} {
+		c := NewComputerWithPool(workers, pool)
+		sk := NewStreamKernel(c)
+		plan := c.NewPlan(mat)
+		for mode := range x.Dims {
+			want := dense.NewMatrix(x.Dims[mode], k)
+			got := dense.NewMatrix(x.Dims[mode], k)
+			c.PlanMTTKRP(want, plan, factors, mode)
+			if err := sk.MTTKRP(got, r, factors, mode); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range want.Data {
+				if math.Float64bits(got.Data[i]) != math.Float64bits(v) {
+					t.Fatalf("workers=%d mode=%d: element %d differs", workers, mode, i)
+				}
+			}
+		}
+		want := make([]float64, k)
+		got := make([]float64, k)
+		c.TimeMode(want, mat, factors)
+		if err := sk.TimeMode(got, r, factors); err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("workers=%d TimeMode[%d] differs", workers, j)
+			}
+		}
+	}
+}
+
+// TestStreamKernelAllocFree checks the steady-state allocation contract:
+// after the first call has grown the scratch, repeated streamed MTTKRP
+// and TimeMode evaluations allocate nothing.
+func TestStreamKernelAllocFree(t *testing.T) {
+	x := streamTensor(t, []int{60, 45, 55}, 6000, 11, false)
+	src, err := sptensor.SplitBlocks(x, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 8
+	rng := rand.New(rand.NewSource(21))
+	factors := randFactors(rng, x.Dims, k)
+	c := NewComputerWithPool(2, parallel.NewPool(2))
+	sk := NewStreamKernel(c)
+	out := dense.NewMatrix(x.Dims[0], k)
+	dst := make([]float64, k)
+	// Warm-up growth pass over every mode.
+	for mode := range x.Dims {
+		o := dense.NewMatrix(x.Dims[mode], k)
+		if err := sk.MTTKRP(o, src, factors, mode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sk.TimeMode(dst, src, factors); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := sk.MTTKRP(out, src, factors, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := sk.TimeMode(dst, src, factors); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state streamed kernels allocate %v times per run, want 0", allocs)
+	}
+}

@@ -43,6 +43,24 @@ type Range struct {
 	Lo, Hi int
 }
 
+// WorkerRange returns worker w's share of the blocked static partition
+// of [0, n) over active workers — the exact ranges the Pool's Do and
+// DoReduceVecInto primitives hand their bodies. Exported so kernels
+// that stream an index space in external pieces (the out-of-core MTTKRP
+// path) can reproduce the in-memory partition boundaries, and with them
+// the in-memory floating-point reduction order, bit for bit.
+func WorkerRange(n, active, w int) Range {
+	return workerRange(n, active, w)
+}
+
+// ClampWorkers normalizes a requested worker count the way every Pool
+// primitive does: non-positive means DefaultWorkers, and the count never
+// exceeds n. Exported alongside WorkerRange for external-partition
+// kernels that must clamp identically to DoReduceVecInto.
+func ClampWorkers(workers, n int) int {
+	return clampWorkers(workers, n)
+}
+
 // Partition splits [0, n) into at most workers contiguous ranges of
 // near-equal size. Fewer ranges are returned when n < workers. The
 // partition is deterministic: worker w always receives the same range for

@@ -8,7 +8,6 @@ import (
 	"math"
 	"os"
 	"strconv"
-	"strings"
 
 	"spstream/internal/resilience"
 )
@@ -19,73 +18,183 @@ import (
 // inferred as the maximum coordinate seen per mode unless dims is
 // non-nil, in which case coordinates are validated against it.
 func ReadTNS(r io.Reader, dims []int) (*Tensor, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	var t *Tensor
-	var maxIdx []int32
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("sptensor: line %d: need at least one coordinate and a value", lineNo)
-		}
-		nModes := len(fields) - 1
+	outDims, _, err := ScanTNS(r, dims, func(coord []int32, val float64) error {
 		if t == nil {
-			if dims != nil {
-				if len(dims) != nModes {
-					return nil, fmt.Errorf("sptensor: line %d: %d coordinates but %d dims given", lineNo, nModes, len(dims))
-				}
-				t = New(dims...)
-			} else {
-				t = New(make([]int, nModes)...)
-			}
-			maxIdx = make([]int32, nModes)
-		} else if nModes != t.NModes() {
-			return nil, fmt.Errorf("sptensor: line %d: %d coordinates, expected %d", lineNo, nModes, t.NModes())
-		}
-		coord := make([]int32, nModes)
-		for m := 0; m < nModes; m++ {
-			v, err := strconv.ParseInt(fields[m], 10, 32)
-			if err != nil {
-				return nil, fmt.Errorf("sptensor: line %d: bad coordinate %q: %v", lineNo, fields[m], err)
-			}
-			if v < 1 {
-				return nil, fmt.Errorf("sptensor: line %d: coordinate %d is not 1-based", lineNo, v)
-			}
-			coord[m] = int32(v - 1)
-			if dims != nil && int(coord[m]) >= dims[m] {
-				return nil, fmt.Errorf("sptensor: line %d: coordinate %d exceeds dim %d of mode %d", lineNo, v, dims[m], m)
-			}
-			if coord[m] > maxIdx[m] {
-				maxIdx[m] = coord[m]
-			}
-		}
-		val, err := strconv.ParseFloat(fields[nModes], 64)
-		if err != nil {
-			return nil, fmt.Errorf("sptensor: line %d: bad value %q: %v", lineNo, fields[nModes], err)
-		}
-		if math.IsNaN(val) || math.IsInf(val, 0) {
-			return nil, fmt.Errorf("sptensor: line %d: non-finite value %v", lineNo, val)
+			t = New(make([]int, len(coord))...)
 		}
 		t.Append(coord, val)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sptensor: reading tns: %w", err)
+	copy(t.Dims, outDims)
+	return t, nil
+}
+
+// tnsFields walks the whitespace-separated fields of one line without
+// allocating: next returns subslices of the line. Only ASCII
+// whitespace separates fields (what .tns files in the wild use);
+// anything else lands inside a field and fails numeric parsing with a
+// line-anchored error.
+type tnsFields struct {
+	b []byte
+	i int
+}
+
+func tnsSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f'
+}
+
+func (f *tnsFields) next() []byte {
+	for f.i < len(f.b) && tnsSpace(f.b[f.i]) {
+		f.i++
 	}
-	if t == nil {
-		return nil, fmt.Errorf("sptensor: empty tns input")
+	if f.i >= len(f.b) {
+		return nil
 	}
-	if dims == nil {
-		for m := range t.Dims {
-			t.Dims[m] = int(maxIdx[m]) + 1
+	start := f.i
+	for f.i < len(f.b) && !tnsSpace(f.b[f.i]) {
+		f.i++
+	}
+	return f.b[start:f.i]
+}
+
+func (f *tnsFields) count() int {
+	save := f.i
+	n := 0
+	for f.next() != nil {
+		n++
+	}
+	f.i = save
+	return n
+}
+
+// parseCoord1 parses a 1-based coordinate field in place (decimal
+// digits with an optional sign, the grammar strconv.ParseInt accepts
+// for base 10) and returns it 0-based.
+func parseCoord1(field []byte) (int32, error) {
+	i, neg := 0, false
+	if len(field) > 0 && (field[0] == '+' || field[0] == '-') {
+		neg = field[0] == '-'
+		i++
+	}
+	if i == len(field) {
+		return 0, fmt.Errorf("bad coordinate %q", field)
+	}
+	v := int64(0)
+	for ; i < len(field); i++ {
+		c := field[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad coordinate %q", field)
+		}
+		v = v*10 + int64(c-'0')
+		if v > math.MaxInt32+1 {
+			return 0, fmt.Errorf("coordinate %q overflows int32", field)
 		}
 	}
-	return t, nil
+	if neg {
+		v = -v
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("coordinate %d is not 1-based", v)
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("coordinate %q overflows int32", field)
+	}
+	return int32(v - 1), nil
+}
+
+// ScanTNS streams the FROSTT text format: fn is invoked once per
+// nonzero with the 0-based coordinates (a buffer reused across calls —
+// copy to retain) and the value. When dims is non-nil coordinates are
+// validated against it; either way the final mode lengths (given, or
+// inferred as max+1) are returned along with the nonzero count. This
+// is the bounded-memory ingest path: unlike ReadTNS nothing is
+// accumulated, so the ooc converter can partition arbitrarily large
+// text tensors under a fixed heap. The line parser works in place on
+// the scanner's buffer — no per-line string, field slice, or
+// coordinate allocations.
+func ScanTNS(r io.Reader, dims []int, fn func(coord []int32, val float64) error) ([]int, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var coord, maxIdx []int32
+	nModes := 0
+	lineNo, nnz := 0, 0
+	for sc.Scan() {
+		lineNo++
+		f := tnsFields{b: sc.Bytes()}
+		n := f.count()
+		if n == 0 {
+			continue
+		}
+		if first := f.b[f.firstNonSpace()]; first == '#' {
+			continue
+		}
+		if n < 2 {
+			return nil, 0, fmt.Errorf("sptensor: line %d: need at least one coordinate and a value", lineNo)
+		}
+		if coord == nil {
+			nModes = n - 1
+			if dims != nil && len(dims) != nModes {
+				return nil, 0, fmt.Errorf("sptensor: line %d: %d coordinates but %d dims given", lineNo, nModes, len(dims))
+			}
+			coord = make([]int32, nModes)
+			maxIdx = make([]int32, nModes)
+		} else if n-1 != nModes {
+			return nil, 0, fmt.Errorf("sptensor: line %d: %d coordinates, expected %d", lineNo, n-1, nModes)
+		}
+		for m := 0; m < nModes; m++ {
+			c, err := parseCoord1(f.next())
+			if err != nil {
+				return nil, 0, fmt.Errorf("sptensor: line %d: %v", lineNo, err)
+			}
+			if dims != nil && int(c) >= dims[m] {
+				return nil, 0, fmt.Errorf("sptensor: line %d: coordinate %d exceeds dim %d of mode %d", lineNo, int64(c)+1, dims[m], m)
+			}
+			coord[m] = c
+			if c > maxIdx[m] {
+				maxIdx[m] = c
+			}
+		}
+		vf := f.next()
+		val, err := strconv.ParseFloat(string(vf), 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("sptensor: line %d: bad value %q: %v", lineNo, vf, err)
+		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return nil, 0, fmt.Errorf("sptensor: line %d: non-finite value %v", lineNo, val)
+		}
+		if err := fn(coord, val); err != nil {
+			return nil, 0, err
+		}
+		nnz++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("sptensor: reading tns: %w", err)
+	}
+	if coord == nil {
+		return nil, 0, fmt.Errorf("sptensor: empty tns input")
+	}
+	if dims != nil {
+		return append([]int(nil), dims...), nnz, nil
+	}
+	out := make([]int, nModes)
+	for m := range out {
+		out[m] = int(maxIdx[m]) + 1
+	}
+	return out, nnz, nil
+}
+
+// firstNonSpace returns the index of the first non-space byte; only
+// called on lines known non-blank.
+func (f *tnsFields) firstNonSpace() int {
+	i := 0
+	for i < len(f.b) && tnsSpace(f.b[i]) {
+		i++
+	}
+	return i
 }
 
 // WriteTNS writes the tensor in FROSTT text format (1-based coordinates).

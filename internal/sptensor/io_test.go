@@ -126,6 +126,43 @@ func TestReadBinaryRejectsGarbage(t *testing.T) {
 	}
 }
 
+// BenchmarkReadTNS measures the .tns parser on a realistic mid-size
+// input. The in-place field scanner keeps B/op at a small constant
+// plus the tensor's own storage — no per-line strings.Fields garbage.
+func BenchmarkReadTNS(b *testing.B) {
+	x := buildBenchTensor(200, 150, 100, 50_000)
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, x); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadTNS(bytes.NewReader(data), x.Dims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func buildBenchTensor(d0, d1, d2, nnz int) *Tensor {
+	x := New(d0, d1, d2)
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int32 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int32(state % uint64(n))
+	}
+	coord := make([]int32, 3)
+	for e := 0; e < nnz; e++ {
+		coord[0], coord[1], coord[2] = next(d0), next(d1), next(d2)
+		x.Append(coord, float64(next(1000))/250.0+0.001)
+	}
+	return x
+}
+
 func TestFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/t.tns"

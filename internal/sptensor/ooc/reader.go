@@ -1,0 +1,235 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"spstream/internal/sptensor"
+)
+
+// blockFile abstracts how section bytes reach the decoder: the mmap
+// backend (file_mmap.go) returns zero-copy subslices of the mapping,
+// the pread fallback (file_pread.go, or the spblk_pread build tag)
+// reads into the caller's scratch. Either way the decoder sees one
+// contiguous []byte per section.
+type blockFile interface {
+	// section returns n bytes at off, using scratch as the destination
+	// when a copy is unavoidable. The result is valid until the next
+	// section call with the same scratch.
+	section(scratch []byte, off, n int64) ([]byte, error)
+	size() int64
+	close() error
+}
+
+// BlockReader is the random-access reader for SPBLK001 files. It
+// implements sptensor.BlockSource: Block(b) decodes one block into a
+// reusable buffer, so iterating every block over and over (one pass
+// per mode per iteration in the streamed kernels) allocates nothing
+// after the first full pass. CRCs are verified on a block's first
+// access and skipped on re-reads — repeated kernel passes pay decode
+// cost only.
+type BlockReader struct {
+	f        blockFile
+	lay      Layout
+	totalNNZ int64
+	idx      []indexEntry
+
+	scratch  []byte
+	verified []bool
+	blk      sptensor.Tensor
+}
+
+// Open maps (or opens) an SPBLK001 file and parses + validates its
+// footer and block index. Every count and offset is bounded by the
+// file size before any dependent allocation, so corrupt metadata
+// produces an error, never an OOM.
+func Open(path string) (*BlockReader, error) {
+	f, err := openBlockFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newReader(f)
+	if err != nil {
+		f.close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func newReader(f blockFile) (*BlockReader, error) {
+	size := f.size()
+	minSize := int64(len(Magic)) + sectionHeaderLen + trailerLen
+	if size < minSize {
+		return nil, fmt.Errorf("ooc: file of %d bytes is shorter than the smallest valid block file", size)
+	}
+	head, err := f.section(nil, 0, int64(len(Magic)))
+	if err != nil {
+		return nil, err
+	}
+	if string(head) != Magic {
+		return nil, fmt.Errorf("ooc: bad magic %q", head)
+	}
+	trailer, err := f.section(nil, size-trailerLen, trailerLen)
+	if err != nil {
+		return nil, err
+	}
+	if string(trailer[8:16]) != EndMagic {
+		return nil, fmt.Errorf("ooc: bad end magic %q (truncated file?)", trailer[8:16])
+	}
+	footerOff := binary.LittleEndian.Uint64(trailer[0:8])
+	if footerOff > math.MaxInt64 || int64(footerOff) < int64(len(Magic)) ||
+		int64(footerOff)+sectionHeaderLen > size-trailerLen {
+		return nil, fmt.Errorf("ooc: footer offset %d outside file of %d bytes", footerOff, size)
+	}
+	fOff := int64(footerOff)
+	hdr, err := f.section(nil, fOff, sectionHeaderLen)
+	if err != nil {
+		return nil, err
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+	fLen := binary.LittleEndian.Uint64(hdr[4:12])
+	if fLen > uint64(size-trailerLen-fOff-sectionHeaderLen) {
+		return nil, fmt.Errorf("ooc: footer length %d exceeds file", fLen)
+	}
+	payload, err := f.section(nil, fOff+sectionHeaderLen, int64(fLen))
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return nil, fmt.Errorf("ooc: footer checksum %08x, want %08x", got, wantCRC)
+	}
+	lay, totalNNZ, idx, err := decodeFooter(payload, fOff)
+	if err != nil {
+		return nil, err
+	}
+	r := &BlockReader{
+		f:        f,
+		lay:      lay,
+		totalNNZ: totalNNZ,
+		idx:      idx,
+		verified: make([]bool, len(idx)),
+	}
+	r.blk.Dims = lay.Dims
+	r.blk.Inds = make([][]int32, len(lay.Dims))
+	return r, nil
+}
+
+// Close releases the mapping or file handle.
+func (r *BlockReader) Close() error { return r.f.close() }
+
+// Dims returns the mode lengths of the whole tensor.
+func (r *BlockReader) Dims() []int { return r.lay.Dims }
+
+// NNZ returns the total nonzero count.
+func (r *BlockReader) NNZ() int { return int(r.totalNNZ) }
+
+// Blocks returns the number of stored (non-empty) blocks.
+func (r *BlockReader) Blocks() int { return len(r.idx) }
+
+// Layout returns the block grid of the file.
+func (r *BlockReader) Layout() Layout { return r.lay }
+
+// Extent returns the half-open coordinate range of block b in mode m —
+// the hook the blocked CSF build uses to group blocks into disjoint
+// root-coordinate slabs.
+func (r *BlockReader) Extent(b, m int) (lo, hi int32) {
+	return r.lay.Extent(m, r.idx[b].grid[m])
+}
+
+// BlockNNZ returns block b's nonzero count without decoding it.
+func (r *BlockReader) BlockNNZ(b int) int { return int(r.idx[b].nnz) }
+
+// BlockGrid returns block b's grid coordinate (aliased, do not mutate).
+func (r *BlockReader) BlockGrid(b int) []int32 { return r.idx[b].grid }
+
+// BlockOffset returns the file offset of block b's section.
+func (r *BlockReader) BlockOffset(b int) int64 { return r.idx[b].offset }
+
+// MaxBlockNNZ returns the largest per-block nonzero count — what
+// consumers size their reusable per-block scratch to.
+func (r *BlockReader) MaxBlockNNZ() int {
+	maxNNZ := int64(0)
+	for i := range r.idx {
+		if r.idx[i].nnz > maxNNZ {
+			maxNNZ = r.idx[i].nnz
+		}
+	}
+	return int(maxNNZ)
+}
+
+// Block decodes block b into the reader's reusable buffer. The result
+// is valid until the next Block call. The block's coordinates are
+// validated against its grid extent, so a value that decodes out of
+// range (bit rot past the CRC, or a forged index) is an error rather
+// than a later out-of-bounds kernel access.
+func (r *BlockReader) Block(b int) (*sptensor.Tensor, error) {
+	if b < 0 || b >= len(r.idx) {
+		return nil, fmt.Errorf("ooc: block %d out of range [0,%d)", b, len(r.idx))
+	}
+	e := &r.idx[b]
+	nModes := len(r.lay.Dims)
+	wantLen := blockPayloadLen(nModes, e.nnz)
+	hdr, err := r.f.section(r.smallScratch(), e.offset, sectionHeaderLen)
+	if err != nil {
+		return nil, err
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+	gotLen := binary.LittleEndian.Uint64(hdr[4:12])
+	if gotLen != uint64(wantLen) {
+		return nil, fmt.Errorf("ooc: block %d section length %d, index implies %d", b, gotLen, wantLen)
+	}
+	if cap(r.scratch) < int(wantLen) {
+		r.scratch = make([]byte, wantLen)
+	}
+	payload, err := r.f.section(r.scratch[:wantLen], e.offset+sectionHeaderLen, wantLen)
+	if err != nil {
+		return nil, err
+	}
+	if !r.verified[b] {
+		if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+			return nil, fmt.Errorf("ooc: block %d checksum %08x, want %08x", b, got, wantCRC)
+		}
+		r.verified[b] = true
+	}
+	if got := binary.LittleEndian.Uint64(payload[0:8]); got != uint64(e.nnz) {
+		return nil, fmt.Errorf("ooc: block %d payload declares %d nonzeros, index %d", b, got, e.nnz)
+	}
+	nnz := int(e.nnz)
+	off := 8
+	for m := 0; m < nModes; m++ {
+		if cap(r.blk.Inds[m]) < nnz {
+			r.blk.Inds[m] = make([]int32, nnz)
+		}
+		col := r.blk.Inds[m][:nnz]
+		lo, hi := r.lay.Extent(m, e.grid[m])
+		for i := 0; i < nnz; i++ {
+			c := int32(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+			if c < lo || c >= hi {
+				return nil, fmt.Errorf("ooc: block %d mode-%d coordinate %d outside extent [%d,%d)", b, m, c, lo, hi)
+			}
+			col[i] = c
+		}
+		r.blk.Inds[m] = col
+	}
+	if cap(r.blk.Vals) < nnz {
+		r.blk.Vals = make([]float64, nnz)
+	}
+	vals := r.blk.Vals[:nnz]
+	for i := 0; i < nnz; i++ {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	r.blk.Vals = vals
+	return &r.blk, nil
+}
+
+// smallScratch returns a header-sized prefix of the scratch buffer.
+func (r *BlockReader) smallScratch() []byte {
+	if cap(r.scratch) < sectionHeaderLen {
+		r.scratch = make([]byte, sectionHeaderLen)
+	}
+	return r.scratch[:sectionHeaderLen]
+}

@@ -1,0 +1,46 @@
+package ooc
+
+// BlockShape picks the block grid for a tensor: the per-mode split
+// counts such that ∏splits ≥ ⌈nnz/targetBlockNNZ⌉, halving the widest
+// remaining side at each step. Always cutting the longest current side
+// keeps the blocks as close to hypercubes as the dims allow — the
+// balanced hyper-rectangular shape Ballard/Rouse/Knight show minimizes
+// factor-row traffic per block for MTTKRP (the same rule PR 8's shard
+// partitioner applies across nodes, here applied within one node's
+// memory hierarchy). Under uniform occupancy each block then holds
+// ≈ targetBlockNNZ nonzeros; skewed tensors can concentrate more into
+// one block, which the writer tolerates (block sizes are data, only
+// the grid is the rule).
+//
+// The result is deterministic in (dims, nnz, targetBlockNNZ).
+func BlockShape(dims []int, nnz, targetBlockNNZ int) []int {
+	splits := make([]int, len(dims))
+	for m := range splits {
+		splits[m] = 1
+	}
+	if targetBlockNNZ < 1 || nnz <= targetBlockNNZ {
+		return splits
+	}
+	want := int64((nnz + targetBlockNNZ - 1) / targetBlockNNZ)
+	prod := int64(1)
+	for prod < want {
+		// Widest current side; ties resolve to the lowest mode.
+		best, bestSide := -1, 1
+		for m, d := range dims {
+			side := (d + splits[m] - 1) / splits[m]
+			if side > bestSide {
+				best, bestSide = m, side
+			}
+		}
+		if best < 0 {
+			break // every side is already 1 coordinate wide
+		}
+		next := splits[best] * 2
+		if next > dims[best] {
+			next = dims[best]
+		}
+		prod = prod / int64(splits[best]) * int64(next)
+		splits[best] = next
+	}
+	return splits
+}

@@ -35,6 +35,7 @@ import (
 	"spstream/internal/ingest"
 	"spstream/internal/resilience"
 	"spstream/internal/sptensor"
+	"spstream/internal/sptensor/ooc"
 	"spstream/internal/synth"
 	"spstream/internal/trace"
 )
@@ -105,6 +106,19 @@ type (
 	// OverloadStats is a point-in-time snapshot of the overload
 	// counters (produced, processed, shed, coalesced, …).
 	OverloadStats = trace.OverloadSnapshot
+	// BlockSource delivers a slice one bounded block at a time — the
+	// out-of-core input to Decomposer.ProcessBlockSlice. Implemented by
+	// BlockReader (.spblk files) and sptensor.MemBlocks.
+	BlockSource = sptensor.BlockSource
+	// BlockReader reads a block-partitioned .spblk tensor file,
+	// decoding one CRC-checked block at a time (mmap-backed where the
+	// platform allows).
+	BlockReader = ooc.BlockReader
+	// ConvertOptions configures the bounded-memory .tns → .spblk
+	// converter.
+	ConvertOptions = ooc.ConvertOptions
+	// ConvertStats reports what the converter did.
+	ConvertStats = ooc.ConvertStats
 )
 
 // Resilience policies (see ResiliencePolicy).
@@ -251,6 +265,31 @@ func SaveTNS(path string, t *Tensor) error { return sptensor.WriteTNSFile(path, 
 // SplitStream partitions an (N+1)-way tensor along streamMode into a
 // stream of N-way time slices.
 func SplitStream(t *Tensor, streamMode int) (*Stream, error) { return sptensor.Split(t, streamMode) }
+
+// OpenBlocks opens a block-partitioned .spblk tensor file for
+// out-of-core processing (Decomposer.ProcessBlockSlice). Close the
+// reader when done.
+func OpenBlocks(path string) (*BlockReader, error) { return ooc.Open(path) }
+
+// WriteBlocks writes a tensor as a block-partitioned .spblk file with
+// roughly targetBlockNNZ nonzeros per block (atomically: temp file +
+// fsync + rename).
+func WriteBlocks(path string, t *Tensor, targetBlockNNZ int) error {
+	return ooc.WriteTensor(path, t, targetBlockNNZ)
+}
+
+// ConvertTNS converts a FROSTT .tns file to the .spblk block format
+// without materializing the tensor: peak memory is bounded by
+// ConvertOptions, not by the nonzero count.
+func ConvertTNS(tnsPath, outPath string, opt ConvertOptions) (*ConvertStats, error) {
+	return ooc.ConvertTNS(tnsPath, outPath, opt)
+}
+
+// SplitTensorBlocks wraps an in-memory tensor as a BlockSource of
+// consecutive runs of at most blockNNZ nonzeros (no copying).
+func SplitTensorBlocks(t *Tensor, blockNNZ int) (BlockSource, error) {
+	return sptensor.SplitBlocks(t, blockNNZ)
+}
 
 // Generate materializes a synthetic stream from a SynthConfig.
 func Generate(cfg SynthConfig) (*Stream, error) { return synth.Generate(cfg) }
